@@ -1,0 +1,123 @@
+// A1 — ablation of the Δ selection step of Algorithm 1:
+//   * GEM (the paper's choice, Theorem 3.5),
+//   * plain exponential mechanism over the same scores with worst-case
+//     sensitivity (what GEM improves upon),
+//   * non-private oracle Δ (argmin of err; the unattainable target),
+//   * fixed Δ = 2 and fixed Δ = Δmax.
+// The paper's point: GEM tracks the oracle within O(ln ln Δmax), while
+// plain EM must scale all scores by the worst-case sensitivity Δmax and
+// loses the instance-adaptivity.
+
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "core/private_cc.h"
+#include "dp/exponential.h"
+#include "dp/laplace.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf("A1: GEM vs plain EM vs oracle vs fixed Delta, eps=1, "
+              "trials=40\n\n");
+
+  const double epsilon = 1.0;
+  const int trials = 40;
+  Rng wrng(810);
+
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"path(256)", gen::Path(256)});
+  workloads.push_back({"caterpillar", gen::Caterpillar(50, 4)});
+  workloads.push_back({"gnp(300,c=1.5)",
+                       gen::ErdosRenyi(300, 1.5 / 300, wrng)});
+
+  Table table({"workload", "selector", "mean|err|", "p90|err|",
+               "med Delta"});
+  for (Workload& w : workloads) {
+    const double truth = SpanningForestSize(w.graph);
+    ExtensionFamily family(w.graph);
+    const std::vector<int> grid = PowersOfTwoGrid(w.graph.NumVertices());
+    // Precompute extension values and q-scores once (deterministic).
+    const double gem_eps = epsilon / 2.0;
+    std::vector<double> values;
+    std::vector<GemCandidate> candidates;
+    for (int delta : grid) {
+      const double v = family.Value(delta).value();
+      values.push_back(v);
+      candidates.push_back(GemCandidate{static_cast<double>(delta),
+                                        (truth - v) + delta / gem_eps});
+    }
+    // Oracle index: argmin q.
+    int oracle = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].q < candidates[oracle].q) {
+        oracle = static_cast<int>(i);
+      }
+    }
+
+    auto run = [&](const char* name, auto select_index, bool spend_half) {
+      // spend_half: selector consumed eps/2, release gets eps/2 (as in
+      // Algorithm 1); the oracle/fixed variants give the full eps to the
+      // release (they spend nothing on selection — not private for the
+      // oracle, which is the point of the comparison).
+      std::vector<double> errors;
+      std::vector<double> chosen;
+      Rng rng(811);
+      for (int t = 0; t < trials; ++t) {
+        const int index = select_index(rng);
+        const double release_eps = spend_half ? epsilon / 2.0 : epsilon;
+        const double estimate = LaplaceMechanism(
+            values[index], grid[index], release_eps, rng);
+        errors.push_back(estimate - truth);
+        chosen.push_back(grid[index]);
+      }
+      const ErrorSummary s = SummarizeErrors(errors);
+      table.Cell(w.name)
+          .Cell(name)
+          .Cell(s.mean_abs, 2)
+          .Cell(s.p90_abs, 2)
+          .Cell(Quantile(chosen, 0.5), 0);
+      table.EndRow();
+    };
+
+    run("GEM (Alg.4)",
+        [&](Rng& rng) {
+          return GemSelect(candidates, gem_eps, 0.1, rng).selected_index;
+        },
+        /*spend_half=*/true);
+    run("plain EM",
+        [&](Rng& rng) {
+          // Plain EM must bound all scores' sensitivity by the worst
+          // candidate's Lipschitz constant, Δmax = grid.back().
+          std::vector<double> scores;
+          for (const GemCandidate& c : candidates) scores.push_back(c.q);
+          return ExponentialMechanismMin(
+              scores, /*sensitivity=*/static_cast<double>(grid.back()),
+              gem_eps, rng);
+        },
+        /*spend_half=*/true);
+    run("oracle (non-private)", [&](Rng&) { return oracle; },
+        /*spend_half=*/false);
+    run("fixed D=2", [&](Rng&) { return 1; }, /*spend_half=*/false);
+    run("fixed D=max",
+        [&](Rng&) { return static_cast<int>(grid.size()) - 1; },
+        /*spend_half=*/false);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: GEM within a small factor of the oracle; plain EM\n"
+      "picks near-uniformly (sensitivity Delta_max washes out the scores)\n"
+      "and lands far from the oracle; fixed D=max pays ~Delta_max noise.\n");
+  return 0;
+}

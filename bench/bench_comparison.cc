@@ -1,0 +1,98 @@
+// E6 — method comparison: Algorithm 1 vs the edge-DP Laplace release
+// (weaker privacy model, Section 1.2) vs the naive node-DP release
+// (Lap((n-1)/ε), the obstacle motivating the paper) vs fixed-Δ ablations.
+//
+// The qualitative shape the paper implies: ours ≈ edge-DP up to
+// polylog factors on graphs with small Δ*, while naive node-DP is off by a
+// factor ~n; fixed-Δ matches ours only when the guess happens to be right.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/extension_family.h"
+#include "core/private_cc.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf(
+      "E6: ours vs baselines, epsilon = 1, trials = 100, f_cc release\n\n");
+
+  const double epsilon = 1.0;
+  const int trials = 100;
+
+  struct Workload {
+    std::string name;
+    Graph graph;
+  };
+  Rng wrng(660);
+  std::vector<Workload> workloads;
+  workloads.push_back({"entity(300,4)", gen::RandomEntityGraph(300, 4, wrng)});
+  workloads.push_back({"gnp(400,c=1)", gen::ErdosRenyi(400, 1.0 / 400, wrng)});
+  workloads.push_back({"geometric(300)", gen::RandomGeometric(300, 0.05, wrng)});
+  workloads.push_back({"paths+isolated",
+                       gen::DisjointUnion({gen::Path(150), gen::Empty(100),
+                                           gen::Path(80)})});
+
+  Table table({"workload", "true cc", "method", "median|err|", "p90|err|"});
+  for (Workload& w : workloads) {
+    const double truth = CountConnectedComponents(w.graph);
+    ExtensionFamily family(w.graph);
+    Rng rng(661);
+    std::vector<double> ours;
+    std::vector<double> edge;
+    std::vector<double> naive;
+    std::vector<double> fixed2;
+    std::vector<double> fixed32;
+    bool failed = false;
+    for (int t = 0; t < trials && !failed; ++t) {
+      const auto release = PrivateConnectedComponents(family, epsilon, rng);
+      if (!release.ok()) {
+        std::fprintf(stderr, "%s: %s\n", w.name.c_str(),
+                     release.status().ToString().c_str());
+        failed = true;
+        break;
+      }
+      ours.push_back(release->estimate - truth);
+      edge.push_back(EdgeDpConnectedComponents(w.graph, epsilon, rng) - truth);
+      naive.push_back(NaiveNodeDpConnectedComponents(w.graph, epsilon, rng) -
+                      truth);
+      fixed2.push_back(
+          FixedDeltaNodeDpConnectedComponents(w.graph, 2, epsilon, rng)
+              .value() -
+          truth);
+      fixed32.push_back(
+          FixedDeltaNodeDpConnectedComponents(w.graph, 32, epsilon, rng)
+              .value() -
+          truth);
+    }
+    if (failed) continue;
+    auto row = [&](const char* method, const std::vector<double>& errs) {
+      const ErrorSummary s = SummarizeErrors(errs);
+      table.Cell(w.name)
+          .Cell(truth, 0)
+          .Cell(method)
+          .Cell(s.median_abs, 2)
+          .Cell(s.p90_abs, 2);
+      table.EndRow();
+    };
+    row("ours (Alg.1)", ours);
+    row("edge-DP Lap(1/e)", edge);
+    row("naive Lap(n/e)", naive);
+    row("fixed D=2", fixed2);
+    row("fixed D=32", fixed32);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: ours within a small polylog factor of edge-DP;\n"
+      "naive worse by ~n; fixed D=32 pays 16x the noise of D=2 whenever\n"
+      "D=2 suffices, while fixed D=2 is badly biased if Delta* > 2.\n");
+  return 0;
+}

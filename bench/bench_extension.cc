@@ -1,0 +1,88 @@
+// E5 — Lemma 3.3 + Remark 3.4: the extension family's claimed properties,
+// measured rather than proved.
+//
+//   (a) Remark 3.4 family: G = Δ isolated vertices vs G' = G + apex.
+//       f_Δ(G') - f_Δ(G) must equal exactly Δ (Lipschitz constant tight).
+//   (b) f_Δ vs Δ profile on a star (degree cap binds: f_Δ = min(Δ, k)) and
+//       on an odd clique at Δ = 1 (fractional optimum n/2).
+//   (c) Underestimation/monotonicity margins across random inputs.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/lipschitz_extension.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf("E5: Lipschitz extension properties (Lemma 3.3, Remark 3.4)\n\n");
+
+  std::printf("(a) Remark 3.4 tightness: f_D(G')-f_D(G) == D exactly\n");
+  Table tight({"Delta", "f_D(empty)", "f_D(apex)", "gap", "==Delta"});
+  for (int delta : {1, 2, 4, 8, 16}) {
+    const Graph g = gen::Empty(delta);
+    std::vector<int> all;
+    for (int v = 0; v < delta; ++v) all.push_back(v);
+    const Graph g_prime = AddVertex(g, all);
+    const double lo = LipschitzExtensionValue(g, delta);
+    const double hi = LipschitzExtensionValue(g_prime, delta);
+    tight.Cell(delta)
+        .Cell(lo, 3)
+        .Cell(hi, 3)
+        .Cell(hi - lo, 3)
+        .Cell(std::fabs(hi - lo - delta) < 1e-6 ? "yes" : "NO");
+    tight.EndRow();
+  }
+  tight.Print(std::cout);
+
+  std::printf("\n(b) exact profiles: star K_{1,12} and odd cliques at D=1\n");
+  Table profile({"graph", "Delta", "f_Delta", "expected"});
+  const Graph star = gen::Star(12);
+  for (int delta : {1, 2, 4, 8, 12, 16}) {
+    profile.Cell("star-12")
+        .Cell(delta)
+        .Cell(LipschitzExtensionValue(star, delta), 3)
+        .Cell(std::min(delta, 12));
+    profile.EndRow();
+  }
+  for (int n : {3, 5, 7, 9}) {
+    profile.Cell("K" + std::to_string(n))
+        .Cell(1)
+        .Cell(LipschitzExtensionValue(gen::Complete(n), 1.0), 3)
+        .Cell(n / 2.0, 1);
+    profile.EndRow();
+  }
+  profile.Print(std::cout);
+
+  std::printf("\n(c) margins over 25 random G(12, 0.3) draws\n");
+  Rng rng(555);
+  int monotone_violations = 0;
+  int overestimates = 0;
+  double max_gap_at_1 = 0.0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.3, rng);
+    const double f_sf = SpanningForestSize(g);
+    double previous = -1.0;
+    for (double delta : {1.0, 2.0, 3.0, 4.0, 6.0, 11.0}) {
+      const double value = LipschitzExtensionValue(g, delta);
+      if (value > f_sf + 1e-6) ++overestimates;
+      if (value < previous - 1e-6) ++monotone_violations;
+      if (delta == 1.0) {
+        max_gap_at_1 = std::max(max_gap_at_1, f_sf - value);
+      }
+      previous = value;
+    }
+  }
+  std::printf("overestimation violations: %d (expect 0)\n", overestimates);
+  std::printf("monotonicity violations:   %d (expect 0)\n",
+              monotone_violations);
+  std::printf("max (f_sf - f_1) gap:      %.3f (the Delta=1 price)\n",
+              max_gap_at_1);
+  return 0;
+}

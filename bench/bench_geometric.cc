@@ -1,0 +1,74 @@
+// E3 — Section 1.1.4, random geometric graphs: no induced 6-stars, hence
+// s(G) <= 5, Δ* <= 6, and the f_cc error is Õ(ln ln n / ε) — independent
+// of density. The sweep verifies s(G) <= 5 on every instance and reports
+// the error across n at radii tracking the connectivity threshold.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "core/private_cc.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf(
+      "E3: random geometric graphs (Section 1.1.4): s(G) <= 5 always,\n"
+      "error Õ(ln ln n / eps). epsilon = 1, trials per row: 200.\n\n");
+
+  const double epsilon = 1.0;
+  const int trials = 200;
+
+  Table table({"n", "radius", "edges", "true cc", "s(G)", "med|err|",
+               "p90|err|", "med/(lnln n)"});
+  for (int n : {64, 128, 256, 512}) {
+    // Radius at half the connectivity threshold sqrt(ln n / (pi n)): many
+    // components, nontrivial structure.
+    const double radius = 0.5 * std::sqrt(std::log(n) / (M_PI * n));
+    Rng workload_rng(42000 + n);
+    const Graph g = gen::RandomGeometric(n, radius, workload_rng);
+    const double truth = CountConnectedComponents(g);
+    const StarNumberResult star = InducedStarNumber(g);
+    if (!star.exact || star.value > 5) {
+      std::fprintf(stderr, "UNEXPECTED: s(G)=%d exact=%d at n=%d\n",
+                   star.value, star.exact, n);
+    }
+    ExtensionFamily family(g);
+    Rng rng(43000 + n);
+    std::vector<double> errors;
+    bool failed = false;
+    for (int t = 0; t < trials; ++t) {
+      const auto release = PrivateConnectedComponents(family, epsilon, rng);
+      if (!release.ok()) {
+        std::fprintf(stderr, "n=%d: %s\n", n,
+                     release.status().ToString().c_str());
+        failed = true;
+        break;
+      }
+      errors.push_back(release->estimate - truth);
+    }
+    if (failed) continue;
+    const ErrorSummary s = SummarizeErrors(errors);
+    table.Cell(n)
+        .Cell(radius, 4)
+        .Cell(g.NumEdges())
+        .Cell(truth, 0)
+        .Cell(star.value)
+        .Cell(s.median_abs, 2)
+        .Cell(s.p90_abs, 2)
+        .Cell(s.median_abs / (std::log(std::log(n)) / epsilon), 2);
+    table.EndRow();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): s(G) column never exceeds 5; the error is\n"
+      "essentially flat in n (the ln ln n normalizer barely moves).\n");
+  return 0;
+}

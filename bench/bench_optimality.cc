@@ -1,0 +1,91 @@
+// E8 — Lemma 5.2 witness rate: every graph without a spanning Δ-forest has
+// a proper induced subgraph H with f_Δ(G) >= f_sf(H) + (Δ-1)·d(G,H) + 1.
+// We enumerate witnesses exhaustively on random small graphs; the
+// satisfaction rate must be 100%. Also reports the tightness of the
+// Theorem 1.11 comparison against the down-sensitivity extension.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/ds_extension.h"
+#include "core/lipschitz_extension.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf("E8: Lemma 5.2 witnesses and Theorem 1.11 competitiveness\n\n");
+
+  Rng rng(880);
+  Table table({"Delta", "applicable", "witness found", "rate%",
+               "thm1.11 checked", "thm1.11 held"});
+  for (int delta : {1, 2, 3}) {
+    int applicable = 0;
+    int witnessed = 0;
+    int compared = 0;
+    int competitive = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      const int n = 5 + static_cast<int>(rng.NextUint64(3));  // 5..7
+      const Graph g = gen::ErdosRenyi(n, 0.45, rng);
+      if (g.NumEdges() == 0) continue;
+      const double f_delta = LipschitzExtensionValue(g, delta);
+      const double f_sf = SpanningForestSize(g);
+      if (std::fabs(f_delta - f_sf) < 1e-6) continue;  // has Δ-forest
+      ++applicable;
+      // Search all proper induced subgraphs for the Lemma 5.2 witness.
+      bool found = false;
+      for (uint64_t mask = 0; mask + 1 < (1ULL << n) && !found; ++mask) {
+        const InducedSubgraph h = InduceByMask(g, mask);
+        const int removed = n - h.graph.NumVertices();
+        if (f_delta >=
+            SpanningForestSize(h.graph) + (delta - 1.0) * removed + 1.0 -
+                1e-6) {
+          found = true;
+        }
+      }
+      witnessed += found;
+      // Theorem 1.11 against the (Δ-1)-Lipschitz DS extension (see
+      // tests/optimality_test.cc for the full Err_G machinery).
+      auto err_of = [&](const std::function<double(const Graph&)>& f) {
+        double worst = 0.0;
+        for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+          const InducedSubgraph h = InduceByMask(g, mask);
+          worst = std::max(worst, std::fabs(f(h.graph) -
+                                            SpanningForestSize(h.graph)));
+        }
+        return worst;
+      };
+      const double err_poly = err_of([&](const Graph& h) {
+        return LipschitzExtensionValue(h, delta);
+      });
+      if (err_poly > 1e-6) {
+        const double err_ds = err_of([&](const Graph& h) {
+          return DownSensitivityExtension(
+              h, delta - 1.0, [](const Graph& x) {
+                return static_cast<double>(SpanningForestSize(x));
+              });
+        });
+        ++compared;
+        if (err_poly <= 2.0 * err_ds - 1.0 + 1e-6) ++competitive;
+      }
+    }
+    table.Cell(delta)
+        .Cell(applicable)
+        .Cell(witnessed)
+        .Cell(applicable > 0 ? 100.0 * witnessed / applicable : 100.0, 1)
+        .Cell(compared)
+        .Cell(competitive);
+    table.EndRow();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: witness rate 100%% and thm1.11 held == checked on every\n"
+      "row (both are proved statements; this regenerates them by search).\n");
+  return 0;
+}

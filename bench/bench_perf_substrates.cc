@@ -1,0 +1,136 @@
+// P1 — google-benchmark timings of the substrates: simplex pivots, Dinic
+// max-flow, the exact separation oracle, full cutting-plane solves, the
+// repair/local-search certificate, s(G), and end-to-end Algorithm 1.
+// These are the cost drivers behind every experiment table; regressions
+// here would silently blow up E1-E8 runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/degree_improve.h"
+#include "core/extension_family.h"
+#include "core/forest_polytope.h"
+#include "core/private_cc.h"
+#include "flow/dinic.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nodedp;
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  LpProblem lp(n);
+  for (int j = 0; j < n; ++j) lp.SetObjective(j, 1.0 + rng.NextDouble());
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBernoulli(0.3)) row.emplace_back(j, rng.NextDouble());
+    }
+    if (row.empty()) row.emplace_back(i, 1.0);
+    lp.AddConstraint(std::move(row), 1.0 + 4.0 * rng.NextDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DinicGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dinic dinic(side * side + 2);
+    Rng rng(2);
+    const int source = side * side;
+    const int sink = side * side + 1;
+    for (int r = 0; r < side; ++r) {
+      dinic.AddArc(source, r * side, 1.0 + rng.NextDouble());
+      dinic.AddArc(r * side + side - 1, sink, 1.0 + rng.NextDouble());
+      for (int c = 0; c + 1 < side; ++c) {
+        dinic.AddArc(r * side + c, r * side + c + 1, rng.NextDouble() * 2);
+        if (r + 1 < side) {
+          dinic.AddArc(r * side + c, (r + 1) * side + c, rng.NextDouble());
+        }
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dinic.Solve(source, sink));
+  }
+}
+BENCHMARK(BM_DinicGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SeparationOracle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(n, 3.0 / n, rng);
+  std::vector<double> x(g.NumEdges());
+  for (double& w : x) w = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindViolatedSubtourSets(g, x, 1e-7, 0));
+  }
+}
+BENCHMARK(BM_SeparationOracle)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CuttingPlaneSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(n, 2.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximizeOverForestPolytope(g, 2.0));
+  }
+}
+BENCHMARK(BM_CuttingPlaneSolve)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RepairCertificate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Graph g = gen::RandomGeometric(n, 0.08, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindSpanningForestOfDegree(g, 6));
+  }
+}
+BENCHMARK(BM_RepairCertificate)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_InducedStarNumber(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const Graph g = gen::ErdosRenyi(n, 3.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InducedStarNumber(g));
+  }
+}
+BENCHMARK(BM_InducedStarNumber)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_Algorithm1EndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng wrng(7);
+  const Graph g = gen::ErdosRenyi(n, 1.0 / n, wrng);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivateSpanningForestSize(g, 1.0, rng));
+  }
+}
+BENCHMARK(BM_Algorithm1EndToEnd)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Algorithm1CachedFamily(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng wrng(7);
+  const Graph g = gen::ErdosRenyi(n, 1.0 / n, wrng);
+  ExtensionFamily family(g);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivateSpanningForestSize(family, 1.0, rng));
+  }
+}
+BENCHMARK(BM_Algorithm1CachedFamily)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// B1 — context experiment: node-private release (Algorithm 1) vs the
+// classical NON-private sublinear sampling estimator ([CRT05]/[BKM14]-style)
+// the paper's introduction cites. Both trade accuracy for a resource —
+// privacy budget vs queries; the table shows the privacy cost of Algorithm 1
+// is comparable to the sampling cost practitioners already accept, on
+// workloads with small Δ*.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "core/private_cc.h"
+#include "core/sublinear_cc.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+  std::printf(
+      "B1: node-DP (eps = 1) vs non-private sublinear sampling, "
+      "trials = 100\n\n");
+
+  const int trials = 100;
+  Rng wrng(990);
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"entity(400,4)", gen::RandomEntityGraph(400, 4, wrng)});
+  workloads.push_back({"gnp(500,c=0.8)",
+                       gen::ErdosRenyi(500, 0.8 / 500, wrng)});
+  workloads.push_back({"geometric(400)",
+                       gen::RandomGeometric(400, 0.045, wrng)});
+
+  Table table({"workload", "true cc", "method", "median|err|", "p90|err|"});
+  for (Workload& w : workloads) {
+    const double truth = CountConnectedComponents(w.graph);
+    ExtensionFamily family(w.graph);
+    Rng rng(991);
+    std::vector<double> private_errors;
+    std::vector<double> sample_small;
+    std::vector<double> sample_large;
+    for (int t = 0; t < trials; ++t) {
+      const auto release = PrivateConnectedComponents(family, 1.0, rng);
+      if (!release.ok()) {
+        std::fprintf(stderr, "%s: %s\n", w.name,
+                     release.status().ToString().c_str());
+        return 1;
+      }
+      private_errors.push_back(release->estimate - truth);
+      SublinearCcOptions small;
+      small.num_samples = 64;
+      small.bfs_cutoff = 16;
+      sample_small.push_back(
+          SublinearConnectedComponents(w.graph, rng, small).estimate -
+          truth);
+      SublinearCcOptions large;
+      large.num_samples = 1024;
+      large.bfs_cutoff = 64;
+      sample_large.push_back(
+          SublinearConnectedComponents(w.graph, rng, large).estimate -
+          truth);
+    }
+    auto row = [&](const char* method, const std::vector<double>& errs) {
+      const ErrorSummary s = SummarizeErrors(errs);
+      table.Cell(w.name)
+          .Cell(truth, 0)
+          .Cell(method)
+          .Cell(s.median_abs, 2)
+          .Cell(s.p90_abs, 2);
+      table.EndRow();
+    };
+    row("node-DP eps=1 (Alg.1)", private_errors);
+    row("sampling s=64,W=16", sample_small);
+    row("sampling s=1024,W=64", sample_large);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: the node-DP error at eps=1 lands between the\n"
+      "coarse and fine sampling configurations — privacy costs roughly as\n"
+      "much accuracy as aggressive subsampling, on low-Delta* inputs.\n");
+  return 0;
+}

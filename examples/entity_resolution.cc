@@ -1,0 +1,77 @@
+// Entity resolution under node-DP — the workload motivating the paper's
+// introduction (counting unique entities, e.g. documented deaths in the
+// Syrian conflict [CSS18], from a database of duplicate records).
+//
+// Records referring to the same entity are linked by a matching process,
+// forming (roughly) a clique per entity. The number of unique entities is
+// then the number of connected components of the record-linkage graph.
+// Each record row is contributed by a person, so node-DP is the right
+// privacy notion: it hides every record AND all its links.
+//
+// This example compares the node-private release against the edge-private
+// one (weaker protection) and the naive node-private one (useless noise)
+// across privacy budgets.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/private_cc.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+#include <iostream>
+
+int main() {
+  using namespace nodedp;
+
+  // 400 entities, each with 1-5 duplicate records (cliques).
+  Rng workload_rng(4321);
+  const Graph graph = gen::RandomEntityGraph(400, 5, workload_rng);
+  const double truth = CountConnectedComponents(graph);
+  std::printf("records: %d, links: %d, true unique entities: %.0f\n\n",
+              graph.NumVertices(), graph.NumEdges(), truth);
+
+  const int trials = 25;
+  Table table({"epsilon", "method", "median|err|", "p90|err|", "rel.err%"});
+  for (double epsilon : {0.5, 1.0, 2.0}) {
+    std::vector<double> ours;
+    std::vector<double> edge_dp;
+    std::vector<double> naive;
+    Rng rng(1000 + static_cast<uint64_t>(epsilon * 100));
+    for (int t = 0; t < trials; ++t) {
+      const auto release = PrivateConnectedComponents(graph, epsilon, rng);
+      if (!release.ok()) {
+        std::fprintf(stderr, "release failed: %s\n",
+                     release.status().ToString().c_str());
+        return 1;
+      }
+      ours.push_back(release->estimate - truth);
+      edge_dp.push_back(EdgeDpConnectedComponents(graph, epsilon, rng) -
+                        truth);
+      naive.push_back(NaiveNodeDpConnectedComponents(graph, epsilon, rng) -
+                      truth);
+    }
+    auto add_row = [&](const char* method, const std::vector<double>& errs) {
+      const ErrorSummary s = SummarizeErrors(errs);
+      table.Cell(epsilon, 2)
+          .Cell(method)
+          .Cell(s.median_abs, 2)
+          .Cell(s.p90_abs, 2)
+          .Cell(100.0 * s.median_abs / truth, 2);
+      table.EndRow();
+    };
+    add_row("node-DP (ours)", ours);
+    add_row("edge-DP (weaker model)", edge_dp);
+    add_row("node-DP naive Lap(n/eps)", naive);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nTakeaway: duplicate-record cliques have Hamiltonian paths, so\n"
+      "Delta* = 2 and the node-private estimate tracks the weaker edge-DP\n"
+      "release closely, while the naive node-DP release is unusable.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Counting clusters of a sensor/mobile network under node-DP.
+//
+// Random geometric graphs model proximity networks (Section 1.1.4 of the
+// paper): devices are points in the unit square, linked when within radio
+// range r. The number of connected components = the number of isolated
+// clusters, a deployment-health statistic one may want to publish without
+// revealing any single device's location/links.
+//
+// Geometric graphs contain no induced 6-star (six points in a unit disk
+// cannot be pairwise farther apart than the radius), so s(G) <= 5,
+// Δ* <= 6, and Theorem 1.3 promises error Õ(ln ln n / ε) — independent of
+// how dense the deployment is. This example sweeps the radio range across
+// the connectivity threshold and shows the estimate staying sharp even as
+// the structure changes drastically.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/private_cc.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+
+  const int n = 300;
+  const double epsilon = 1.0;
+  const int trials = 15;
+
+  Table table({"radius", "edges", "true cc", "s(G)", "median est",
+               "median|err|", "p90|err|"});
+  for (double radius : {0.02, 0.04, 0.06, 0.09, 0.13}) {
+    Rng workload_rng(static_cast<uint64_t>(radius * 10000));
+    const Graph graph = gen::RandomGeometric(n, radius, workload_rng);
+    const double truth = CountConnectedComponents(graph);
+    const StarNumberResult star = InducedStarNumber(graph);
+
+    std::vector<double> estimates;
+    std::vector<double> errors;
+    Rng rng(99000 + static_cast<uint64_t>(radius * 10000));
+    for (int t = 0; t < trials; ++t) {
+      const auto release = PrivateConnectedComponents(graph, epsilon, rng);
+      if (!release.ok()) {
+        std::fprintf(stderr, "release failed: %s\n",
+                     release.status().ToString().c_str());
+        return 1;
+      }
+      estimates.push_back(release->estimate);
+      errors.push_back(release->estimate - truth);
+    }
+    const ErrorSummary s = SummarizeErrors(errors);
+    table.Cell(radius, 2)
+        .Cell(graph.NumEdges())
+        .Cell(truth, 0)
+        .Cell(star.value)
+        .Cell(Quantile(estimates, 0.5), 1)
+        .Cell(s.median_abs, 1)
+        .Cell(s.p90_abs, 1);
+    table.EndRow();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\ns(G) <= 5 at every density (no induced 6-stars in geometric\n"
+      "graphs), so the error column stays flat while the component count\n"
+      "swings from ~%d down to a handful.\n", n);
+  return 0;
+}

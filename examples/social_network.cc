@@ -1,0 +1,65 @@
+// Node-private connectivity of a synthetic social network.
+//
+// Social graphs are where node-DP matters most: one person's row includes
+// every relationship they participate in. This example builds a two-scale
+// network (a scale-free core of active users plus a sparse G(n,p) periphery
+// of casual users and isolated accounts), then releases the number of
+// connected components at several privacy budgets, showing the internals of
+// Algorithm 1: the GEM-selected Lipschitz parameter Δ̂, the pre-noise
+// extension value f_Δ̂, and the Laplace scale.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/private_cc.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "util/random.h"
+
+int main() {
+  using namespace nodedp;
+
+  Rng workload_rng(20230610);
+  // Core: 150 active users, preferential attachment (hubs!).
+  const Graph core = gen::BarabasiAlbert(150, 2, workload_rng);
+  // Periphery: 350 casual users, average degree ~ 1 (many small comps).
+  const Graph periphery = gen::ErdosRenyi(350, 1.0 / 350, workload_rng);
+  const Graph graph = gen::DisjointUnion({core, periphery});
+
+  const double truth = CountConnectedComponents(graph);
+  const StarNumberResult star = InducedStarNumber(graph);
+  std::printf("users: %d, friendships: %d\n", graph.NumVertices(),
+              graph.NumEdges());
+  std::printf("true components: %.0f\n", truth);
+  std::printf("induced star number s(G) = DS_fsf(G): %d%s\n", star.value,
+              star.exact ? "" : " (lower bound)");
+  std::printf("=> Delta* <= s(G)+1 = %d (Lemma 1.6)\n\n", star.value + 1);
+
+  Table table({"epsilon", "estimate", "true", "|err|", "Delta^", "f_Delta^",
+               "Lap scale"});
+  for (double epsilon : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    Rng rng(7000 + static_cast<uint64_t>(epsilon * 1000));
+    const auto release = PrivateConnectedComponents(graph, epsilon, rng);
+    if (!release.ok()) {
+      std::fprintf(stderr, "release failed: %s\n",
+                   release.status().ToString().c_str());
+      return 1;
+    }
+    table.Cell(epsilon, 2)
+        .Cell(release->estimate, 1)
+        .Cell(truth, 0)
+        .Cell(std::abs(release->estimate - truth), 1)
+        .Cell(release->forest.selected_delta)
+        .Cell(release->forest.extension_value, 1)
+        .Cell(release->forest.laplace_scale, 1);
+    table.EndRow();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nNote how Delta^ stays near s(G)+1 even though the hubs have degree\n"
+      "10+: accuracy depends on induced stars, not on the max degree.\n");
+  return 0;
+}

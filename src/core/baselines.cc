@@ -1,0 +1,39 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "dp/laplace.h"
+#include "graph/connectivity.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+double EdgeDpConnectedComponents(const Graph& g, double epsilon, Rng& rng) {
+  return LaplaceMechanism(CountConnectedComponents(g), /*sensitivity=*/1.0,
+                          epsilon, rng);
+}
+
+double NaiveNodeDpConnectedComponents(const Graph& g, double epsilon,
+                                      Rng& rng) {
+  const double sensitivity = std::max(1, g.NumVertices() - 1);
+  return LaplaceMechanism(CountConnectedComponents(g), sensitivity, epsilon,
+                          rng);
+}
+
+Result<double> FixedDeltaNodeDpConnectedComponents(
+    const Graph& g, int delta, double epsilon, Rng& rng,
+    const ExtensionOptions& options) {
+  NODEDP_CHECK_GE(delta, 1);
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  Result<ExtensionValue> value = EvalLipschitzExtension(g, delta, options);
+  if (!value.ok()) return value.status();
+  const double count_epsilon = epsilon / 2.0;
+  const double forest_epsilon = epsilon / 2.0;
+  const double count = LaplaceMechanism(g.NumVertices(), /*sensitivity=*/1.0,
+                                        count_epsilon, rng);
+  const double forest = LaplaceMechanism(value->value, delta, forest_epsilon,
+                                         rng);
+  return count - forest;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,42 @@
+// Comparison baselines for the experiments.
+//
+// The paper has no node-private predecessor for f_cc; the meaningful
+// comparisons it discusses are:
+//   * edge-DP Laplace (Section 1.2): f_cc changes by at most 1 per edge
+//     insertion/removal, so Lap(1/ε) suffices — but under the much weaker
+//     edge-privacy notion;
+//   * the naive node-private release: the global node-sensitivity of f_cc
+//     is n-1 in the worst case, so Lap((n-1)/ε) — useless noise, which is
+//     precisely the obstacle motivating the paper;
+//   * fixed-Δ ablation: release f_Δ + Lap(Δ/ε) for a public constant Δ,
+//     i.e., Algorithm 1 without the GEM selection step.
+
+#ifndef NODEDP_CORE_BASELINES_H_
+#define NODEDP_CORE_BASELINES_H_
+
+#include "core/lipschitz_extension.h"
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace nodedp {
+
+// ε-EDGE-private f_cc: f_cc(G) + Lap(1/ε). (Weaker privacy model.)
+double EdgeDpConnectedComponents(const Graph& g, double epsilon, Rng& rng);
+
+// ε-node-private f_cc via the worst-case sensitivity bound n-1:
+// f_cc(G) + Lap((n-1)/ε). Valid but unusably noisy — the lower-bound
+// obstacle discussed in the introduction.
+double NaiveNodeDpConnectedComponents(const Graph& g, double epsilon,
+                                      Rng& rng);
+
+// Fixed-Δ node-private release of f_cc: combines a Lap(1/ε_count) node count
+// with f_Δ + Lap(Δ/ε_sf) under an even budget split. Δ must be chosen
+// data-independently for the privacy guarantee to hold.
+Result<double> FixedDeltaNodeDpConnectedComponents(
+    const Graph& g, int delta, double epsilon, Rng& rng,
+    const ExtensionOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_BASELINES_H_

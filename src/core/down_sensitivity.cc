@@ -1,0 +1,37 @@
+#include "core/down_sensitivity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+StarNumberResult DownSensitivitySpanningForest(
+    const Graph& g, const StarNumberOptions& options) {
+  return InducedStarNumber(g, options);
+}
+
+double DownSensitivityBruteForce(
+    const Graph& g, const std::function<double(const Graph&)>& statistic) {
+  const int n = g.NumVertices();
+  NODEDP_CHECK_LE(n, 20);
+  // Evaluate the statistic once per induced subgraph (indexed by mask).
+  const uint64_t num_masks = 1ULL << n;
+  std::vector<double> value(num_masks);
+  for (uint64_t mask = 0; mask < num_masks; ++mask) {
+    value[mask] = statistic(InduceByMask(g, mask).graph);
+  }
+  double best = 0.0;
+  for (uint64_t mask = 1; mask < num_masks; ++mask) {
+    for (int v = 0; v < n; ++v) {
+      if (!((mask >> v) & 1ULL)) continue;
+      const uint64_t smaller = mask & ~(1ULL << v);
+      best = std::max(best, std::fabs(value[mask] - value[smaller]));
+    }
+  }
+  return best;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,40 @@
+// Down-sensitivity (Definition 1.4) of graph statistics.
+//
+//   DS_f(G) = max |f(H') - f(H)| over node-neighboring induced subgraphs
+//             H ⪯ H' ⪯ G.
+//
+// For f = f_sf the paper proves DS_fsf(G) = s(G), the induced star number
+// (Lemma 1.7), giving a polynomially-computable-in-practice handle (s(G) is
+// a per-neighborhood max independent set; see graph/star.h). The generic
+// brute-force evaluator below enumerates all induced subgraph pairs and is
+// used to validate the lemma on small graphs, as well as to evaluate DS for
+// arbitrary statistics.
+
+#ifndef NODEDP_CORE_DOWN_SENSITIVITY_H_
+#define NODEDP_CORE_DOWN_SENSITIVITY_H_
+
+#include <functional>
+
+#include "graph/graph.h"
+#include "graph/star.h"
+
+namespace nodedp {
+
+// DS_fsf(G) via Lemma 1.7: returns s(G). Result may be marked inexact under
+// the star-search work limit (then it is a lower bound on DS).
+StarNumberResult DownSensitivitySpanningForest(
+    const Graph& g, const StarNumberOptions& options = {});
+
+// DS_fcc differs from DS_fsf by at most 1 (they sum to |V|, which changes by
+// exactly 1 between node-neighbors); this evaluates it exactly by brute
+// force on small graphs, or bounds it as s(G) ± 1 otherwise.
+
+// Exhaustive DS per Definition 1.4 for an arbitrary statistic. Enumerates
+// every induced subgraph H' of G (2^n masks) and every vertex removal.
+// CHECKs NumVertices() <= 20.
+double DownSensitivityBruteForce(
+    const Graph& g, const std::function<double(const Graph&)>& statistic);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_DOWN_SENSITIVITY_H_

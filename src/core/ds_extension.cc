@@ -1,0 +1,52 @@
+#include "core/ds_extension.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+double DownSensitivityExtension(
+    const Graph& g, double delta,
+    const std::function<double(const Graph&)>& statistic) {
+  const int n = g.NumVertices();
+  NODEDP_CHECK_LE(n, 14);
+  NODEDP_CHECK_GE(delta, 0.0);
+  const uint64_t num_masks = 1ULL << n;
+
+  std::vector<double> value(num_masks);
+  for (uint64_t mask = 0; mask < num_masks; ++mask) {
+    value[mask] = statistic(InduceByMask(g, mask).graph);
+  }
+
+  // ds[mask] = DS_f of the subgraph induced by mask. DS is monotone under
+  // taking induced subgraphs, so it satisfies the recursion
+  //   ds[mask] = max over v in mask of
+  //              max(|value[mask] - value[mask \ v]|, ds[mask \ v]).
+  std::vector<double> ds(num_masks, 0.0);
+  for (uint64_t mask = 1; mask < num_masks; ++mask) {
+    double best = 0.0;
+    for (int v = 0; v < n; ++v) {
+      if (!((mask >> v) & 1ULL)) continue;
+      const uint64_t smaller = mask & ~(1ULL << v);
+      best = std::max(best, std::fabs(value[mask] - value[smaller]));
+      best = std::max(best, ds[smaller]);
+    }
+    ds[mask] = best;
+  }
+
+  // f̂_Δ(G) = min over anchored subgraphs of value + Δ * (vertices removed).
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t mask = 0; mask < num_masks; ++mask) {
+    if (ds[mask] > delta) continue;
+    const int removed = n - __builtin_popcountll(mask);
+    best = std::min(best, value[mask] + delta * removed);
+  }
+  return best;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,31 @@
+// The down-sensitivity-based Lipschitz extension of Lemma A.1:
+//
+//   f̂_Δ(G) = min over induced subgraphs H ⪯ G with DS_f(H) <= Δ of
+//            f(H) + Δ · d(H, G).
+//
+// This is the extension whose anchor set S*_Δ = {G : DS_f(G) <= Δ} is the
+// largest possible monotone anchor set (Lemma A.3). Evaluating it takes
+// exponential time in general; this reference implementation enumerates all
+// induced subgraphs and is restricted to small graphs. It exists to validate
+// Lemma 1.9 (S*_{Δ-1} ⊆ S_Δ) and Theorem A.2 empirically against the
+// polynomial-time extension of Definition 3.1.
+
+#ifndef NODEDP_CORE_DS_EXTENSION_H_
+#define NODEDP_CORE_DS_EXTENSION_H_
+
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+// Evaluates f̂_Δ(G) for the monotone nondecreasing statistic `statistic`
+// (f_sf in the paper). CHECKs NumVertices() <= 14 (the evaluation touches
+// every pair (subgraph, its subgraph)).
+double DownSensitivityExtension(
+    const Graph& g, double delta,
+    const std::function<double(const Graph&)>& statistic);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_DS_EXTENSION_H_

@@ -1,0 +1,96 @@
+#include "core/extension_family.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/degree_improve.h"
+#include "graph/connectivity.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+ExtensionFamily::ExtensionFamily(const Graph& g,
+                                 const ExtensionOptions& options)
+    : num_vertices_(g.NumVertices()), options_(options) {
+  f_sf_total_ = SpanningForestSize(g);
+  if (!options_.decompose_components) {
+    if (g.NumEdges() > 0) {
+      ComponentState state;
+      state.graph = g;
+      state.f_sf = f_sf_total_;
+      components_.push_back(std::move(state));
+    }
+    return;
+  }
+  for (const std::vector<int>& component : ComponentVertexSets(g)) {
+    if (component.size() < 2) continue;
+    ComponentState state;
+    state.graph = Induce(g, component).graph;
+    state.f_sf = SpanningForestSize(state.graph);
+    components_.push_back(std::move(state));
+  }
+}
+
+Result<double> ExtensionFamily::Value(double delta) {
+  if (delta < 1.0) {
+    return Status::InvalidArgument("delta must be >= 1 (Algorithm 1 grid)");
+  }
+  double total = 0.0;
+  for (ComponentState& component : components_) {
+    Result<double> value = ComponentValue(component, delta);
+    if (!value.ok()) return value.status();
+    total += *value;
+  }
+  return total;
+}
+
+Result<double> ExtensionFamily::ComponentValue(ComponentState& component,
+                                               double delta) {
+  if (delta >= component.exact_from) {
+    ++stats_.watermark_hits;
+    return component.f_sf;
+  }
+  const auto cached = component.cached.find(delta);
+  if (cached != component.cached.end()) {
+    ++stats_.cache_hits;
+    return cached->second;
+  }
+
+  if (options_.use_repair_fast_path) {
+    const int degree_cap = static_cast<int>(std::floor(delta));
+    if (degree_cap >= 1 && degree_cap > component.fast_path_failed_at) {
+      if (FindSpanningForestOfDegree(component.graph, degree_cap)
+              .has_value()) {
+        ++stats_.fast_certificates;
+        // A spanning cap-forest certifies exactness for every Δ >= cap.
+        component.exact_from =
+            std::min(component.exact_from, static_cast<double>(degree_cap));
+        return component.f_sf;
+      }
+      component.fast_path_failed_at =
+          std::max(component.fast_path_failed_at, degree_cap);
+    }
+  }
+
+  ForestPolytopeOptions polytope = options_.polytope;
+  polytope.cut_pool = &component.cut_pool;
+  const ForestPolytopeResult lp =
+      MaximizeOverForestPolytope(component.graph, delta, polytope);
+  stats_.cut_rounds += lp.cut_rounds;
+  stats_.cuts_added += lp.cuts_added;
+  stats_.simplex_iterations += lp.simplex_iterations;
+  if (lp.status != LpStatus::kOptimal) {
+    return Status::ResourceExhausted(
+        std::string("forest-polytope LP did not converge: ") +
+        LpStatusName(lp.status));
+  }
+  ++stats_.lp_evaluations;
+  component.cached.emplace(delta, lp.value);
+  if (std::fabs(lp.value - component.f_sf) < 1e-9) {
+    component.exact_from = std::min(component.exact_from, delta);
+  }
+  return lp.value;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,86 @@
+// ExtensionFamily: amortized evaluation of the whole family {f_Δ} on one
+// fixed graph — the access pattern of Algorithm 1 (the GEM grid sweeps
+// Δ ∈ {1, 2, 4, ..., Δmax}) and of every experiment that runs many noise
+// trials on the same input.
+//
+// Amortizations, all exact (never change any returned value):
+//   * per-component decomposition, done once;
+//   * value cache keyed by Δ;
+//   * monotone exactness watermark: f_Δ0 = f_sf (for a component) implies
+//     f_Δ = f_sf for all Δ >= Δ0 by monotonicity + underestimation
+//     (Lemma 3.3), so at most one Δ per component ever pays for the
+//     certificate;
+//   * subtour-cut pool shared across Δ: constraints (5) do not mention Δ,
+//     so cuts separated at one Δ pre-tighten the LP at every other Δ;
+//   * fast-path certificate via Algorithm 3 repair + Fürer–Raghavachari-
+//     style local search (core/degree_improve.h), skipping the LP wherever
+//     a spanning Δ-forest is found.
+
+#ifndef NODEDP_CORE_EXTENSION_FAMILY_H_
+#define NODEDP_CORE_EXTENSION_FAMILY_H_
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/forest_polytope.h"
+#include "core/lipschitz_extension.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace nodedp {
+
+class ExtensionFamily {
+ public:
+  // Copies `g` (components of interest, that is) so the family owns its
+  // inputs and cannot dangle.
+  explicit ExtensionFamily(const Graph& g,
+                           const ExtensionOptions& options = {});
+
+  // f_Δ(G). Cached; requires delta >= 1. Fails only on LP resource
+  // exhaustion.
+  Result<double> Value(double delta);
+
+  // f_sf(G) (the non-private true value; used to build GEM scores).
+  double SpanningForestSizeValue() const { return f_sf_total_; }
+
+  int num_vertices() const { return num_vertices_; }
+  const ExtensionOptions& options() const { return options_; }
+
+  // Cumulative work statistics across all Value() calls.
+  struct Stats {
+    int lp_evaluations = 0;    // component evaluations that ran the LP
+    int fast_certificates = 0; // component evaluations settled by a forest
+    int watermark_hits = 0;    // settled by the monotone watermark
+    int cache_hits = 0;
+    int cut_rounds = 0;
+    int cuts_added = 0;
+    long long simplex_iterations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ComponentState {
+    Graph graph;
+    double f_sf = 0.0;
+    // Smallest Δ known to satisfy f_Δ = f_sf (monotone watermark).
+    double exact_from = std::numeric_limits<double>::infinity();
+    // Largest integer cap where the fast-path forest search already failed
+    // (skip re-running the heuristic below it; purely an optimization).
+    int fast_path_failed_at = 0;
+    std::vector<std::vector<int>> cut_pool;
+    std::map<double, double> cached;
+  };
+
+  Result<double> ComponentValue(ComponentState& component, double delta);
+
+  int num_vertices_ = 0;
+  double f_sf_total_ = 0.0;
+  ExtensionOptions options_;
+  std::vector<ComponentState> components_;
+  Stats stats_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_EXTENSION_FAMILY_H_

@@ -1,0 +1,381 @@
+#include "core/forest_polytope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "flow/dinic.h"
+#include "graph/connectivity.h"
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+// x(E[S]) for a sorted vertex set S.
+double SubsetEdgeWeight(const Graph& g, const std::vector<double>& x,
+                        const std::vector<int>& s) {
+  std::vector<bool> in_s(g.NumVertices(), false);
+  for (int v : s) in_s[v] = true;
+  double total = 0.0;
+  for (int v : s) {
+    for (int edge_id : g.IncidentEdgeIds(v)) {
+      const Edge& e = g.EdgeAt(edge_id);
+      const int other = (e.u == v) ? e.v : e.u;
+      if (in_s[other] && other > v) total += x[edge_id];
+    }
+  }
+  return total;
+}
+
+// Builds the LP seeded with constraints (6) and the |S| = 2 instances of
+// (5) (x_e <= 1). Degree rows are emitted only where they can bind
+// (deg(v) > delta), since otherwise x(δ(v)) <= deg(v) <= delta already.
+LpProblem BuildSeedLp(const Graph& g, double delta) {
+  LpProblem lp(g.NumEdges());
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    lp.SetObjective(e, 1.0);
+    lp.AddConstraint({{e, 1.0}}, 1.0);
+  }
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) <= delta) continue;
+    std::vector<std::pair<int, double>> row;
+    row.reserve(g.Degree(v));
+    for (int edge_id : g.IncidentEdgeIds(v)) row.emplace_back(edge_id, 1.0);
+    lp.AddConstraint(std::move(row), delta);
+  }
+  return lp;
+}
+
+// Valid structural instances of constraint family (5): the vertex set of
+// each connected component, and the vertex set of each fundamental cycle of
+// a BFS spanning forest. These are the cuts the oracle would spend its
+// first rounds discovering; installing them up front shortens convergence
+// dramatically on near-anchored instances.
+std::vector<std::vector<int>> StructuralSubtourSets(const Graph& g) {
+  std::vector<std::vector<int>> sets;
+  for (const std::vector<int>& component : ComponentVertexSets(g)) {
+    if (component.size() >= 2) sets.push_back(component);
+  }
+  // BFS forest with parent/depth for fundamental cycles.
+  const int n = g.NumVertices();
+  std::vector<int> parent(n, -1);
+  std::vector<int> depth(n, 0);
+  std::vector<bool> visited(n, false);
+  std::vector<int> queue;
+  for (int root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    queue.clear();
+    queue.push_back(root);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      for (int v : g.Neighbors(u)) {
+        if (visited[v]) continue;
+        visited[v] = true;
+        parent[v] = u;
+        depth[v] = depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (const Edge& e : g.Edges()) {
+    if (parent[e.u] == e.v || parent[e.v] == e.u) continue;  // tree edge
+    // Collect the cycle vertices: walk both endpoints up to their LCA.
+    int a = e.u;
+    int b = e.v;
+    std::vector<int> cycle;
+    while (depth[a] > depth[b]) {
+      cycle.push_back(a);
+      a = parent[a];
+    }
+    while (depth[b] > depth[a]) {
+      cycle.push_back(b);
+      b = parent[b];
+    }
+    while (a != b) {
+      cycle.push_back(a);
+      cycle.push_back(b);
+      a = parent[a];
+      b = parent[b];
+    }
+    cycle.push_back(a);
+    std::sort(cycle.begin(), cycle.end());
+    sets.push_back(std::move(cycle));
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::vector<SubtourViolation> FindViolatedSubtourSets(
+    const Graph& g, const std::vector<double>& x, double tolerance,
+    int max_sets) {
+  NODEDP_CHECK_EQ(static_cast<int>(x.size()), g.NumEdges());
+  const int n = g.NumVertices();
+  const int m = g.NumEdges();
+  std::vector<SubtourViolation> violations;
+  if (n == 0 || m == 0) return violations;
+
+  double total_weight = 0.0;
+  for (double w : x) total_weight += w;
+
+  std::set<std::vector<int>> seen;
+  for (int root = 0; root < n; ++root) {
+    // Only roots carrying weight can participate in a violated set: if
+    // x(δ(r)) = 0 then S \ {r} is at least as violated as S.
+    double incident = 0.0;
+    for (int edge_id : g.IncidentEdgeIds(root)) incident += x[edge_id];
+    if (incident <= tolerance) continue;
+
+    // Node layout: 0 = source, 1 = sink, 2..2+m-1 = edge nodes,
+    // 2+m..2+m+n-1 = vertex nodes.
+    Dinic dinic(2 + m + n);
+    const int source = 0;
+    const int sink = 1;
+    auto edge_node = [&](int e) { return 2 + e; };
+    auto vertex_node = [&](int v) { return 2 + m + v; };
+    for (int e = 0; e < m; ++e) {
+      if (x[e] <= 0.0) continue;
+      dinic.AddArc(source, edge_node(e), x[e]);
+      dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).u),
+                   Dinic::kInfinity);
+      dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).v),
+                   Dinic::kInfinity);
+    }
+    for (int v = 0; v < n; ++v) dinic.AddArc(vertex_node(v), sink, 1.0);
+    dinic.AddArc(source, vertex_node(root), Dinic::kInfinity);
+
+    const double cut = dinic.Solve(source, sink);
+    // max_{S∋root} (x(E[S]) - |S|) = total_weight - cut.
+    const double closure_value = total_weight - cut;
+    if (closure_value <= -1.0 + tolerance) continue;
+
+    SubtourViolation violation;
+    for (int v = 0; v < n; ++v) {
+      if (dinic.OnSourceSide(vertex_node(v))) violation.vertices.push_back(v);
+    }
+    if (violation.vertices.size() < 2) continue;
+    // Recompute the violation from the set itself (exact, independent of
+    // flow arithmetic): x(E[S]) - (|S| - 1).
+    violation.violation =
+        SubsetEdgeWeight(g, x, violation.vertices) -
+        (static_cast<double>(violation.vertices.size()) - 1.0);
+    if (violation.violation <= tolerance) continue;
+    if (!seen.insert(violation.vertices).second) continue;
+    violations.push_back(std::move(violation));
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const SubtourViolation& a, const SubtourViolation& b) {
+              return a.violation > b.violation;
+            });
+  if (max_sets > 0 && static_cast<int>(violations.size()) > max_sets) {
+    violations.resize(max_sets);
+  }
+  return violations;
+}
+
+std::vector<int> GreedyDegreeBoundedForest(
+    const Graph& g, double delta, const std::vector<double>& weights) {
+  NODEDP_CHECK_GE(delta, 1.0);
+  NODEDP_CHECK_EQ(static_cast<int>(weights.size()), g.NumEdges());
+  const int degree_cap = static_cast<int>(std::floor(delta));
+  std::vector<int> order(g.NumEdges());
+  for (int e = 0; e < g.NumEdges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&weights](int a, int b) {
+    return weights[a] > weights[b];
+  });
+  UnionFind uf(g.NumVertices());
+  std::vector<int> degree(g.NumVertices(), 0);
+  std::vector<int> chosen;
+  for (int e : order) {
+    const Edge& edge = g.EdgeAt(e);
+    if (degree[edge.u] >= degree_cap || degree[edge.v] >= degree_cap) {
+      continue;
+    }
+    if (!uf.Union(edge.u, edge.v)) continue;
+    ++degree[edge.u];
+    ++degree[edge.v];
+    chosen.push_back(e);
+  }
+  return chosen;
+}
+
+std::vector<SubtourViolation> FindViolatedSupportComponents(
+    const Graph& g, const std::vector<double>& x, double tolerance) {
+  // Heuristic separation: the connected components of the support graph
+  // {e : x_e > tol} are natural candidates for violated subtour sets.
+  UnionFind uf(g.NumVertices());
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (x[e] > tolerance) uf.Union(g.EdgeAt(e).u, g.EdgeAt(e).v);
+  }
+  // x(E[S]) per component: count every edge with BOTH endpoints in S (also
+  // sub-tolerance ones — they belong to E[S] and only sharpen the check).
+  std::vector<double> weight_by_root(g.NumVertices(), 0.0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const int root = uf.Find(g.EdgeAt(e).u);
+    if (root == uf.Find(g.EdgeAt(e).v)) weight_by_root[root] += x[e];
+  }
+  std::vector<SubtourViolation> violations;
+  std::vector<std::vector<int>> members(g.NumVertices());
+  for (int v = 0; v < g.NumVertices(); ++v) members[uf.Find(v)].push_back(v);
+  for (int root = 0; root < g.NumVertices(); ++root) {
+    if (members[root].size() < 2) continue;
+    const double violation = weight_by_root[root] -
+                             (static_cast<double>(members[root].size()) -
+                              1.0);
+    if (violation > tolerance) {
+      violations.push_back(SubtourViolation{members[root], violation});
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+void AddSubtourConstraint(const Graph& g, const std::vector<int>& vertices,
+                          LpProblem* lp) {
+  std::vector<bool> in_s(g.NumVertices(), false);
+  for (int v : vertices) in_s[v] = true;
+  std::vector<std::pair<int, double>> row;
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (in_s[g.EdgeAt(e).u] && in_s[g.EdgeAt(e).v]) row.emplace_back(e, 1.0);
+  }
+  lp->AddConstraint(std::move(row),
+                    static_cast<double>(vertices.size()) - 1.0);
+}
+
+}  // namespace
+
+ForestPolytopeResult MaximizeOverForestPolytope(
+    const Graph& g, double delta, const ForestPolytopeOptions& options) {
+  NODEDP_CHECK_GT(delta, 0.0);
+  ForestPolytopeResult result;
+  if (g.NumEdges() == 0) {
+    result.status = LpStatus::kOptimal;
+    result.value = 0.0;
+    result.x.assign(g.NumEdges(), 0.0);
+    return result;
+  }
+
+  LpProblem lp = BuildSeedLp(g, delta);
+  // Rows already in the LP, so neither the pool nor a numerically marginal
+  // re-separation can insert the same set twice.
+  std::set<std::vector<int>> installed;
+  if (options.seed_structural_cuts) {
+    for (std::vector<int>& structural : StructuralSubtourSets(g)) {
+      if (installed.insert(structural).second) {
+        AddSubtourConstraint(g, structural, &lp);
+      }
+    }
+  }
+  if (options.cut_pool != nullptr) {
+    for (const std::vector<int>& pooled : *options.cut_pool) {
+      if (installed.insert(pooled).second) {
+        AddSubtourConstraint(g, pooled, &lp);
+      }
+    }
+  }
+  for (int round = 0; round < options.max_cut_rounds; ++round) {
+    result.cut_rounds = round + 1;
+    const LpSolution solution = SolveLp(lp, options.simplex);
+    result.simplex_iterations += solution.iterations;
+    if (solution.status != LpStatus::kOptimal) {
+      result.status = solution.status;
+      return result;
+    }
+    // Primal early exit: if greedy rounding matches the relaxation bound,
+    // the relaxation value is the true optimum and the rounded forest is an
+    // optimal (feasible) point.
+    if (delta >= 1.0) {
+      const std::vector<int> forest_edges =
+          GreedyDegreeBoundedForest(g, delta, solution.x);
+      if (static_cast<double>(forest_edges.size()) >=
+          solution.objective - options.tolerance) {
+        result.status = LpStatus::kOptimal;
+        result.value = solution.objective;
+        result.x.assign(g.NumEdges(), 0.0);
+        for (int e : forest_edges) result.x[e] = 1.0;
+        return result;
+      }
+    }
+    // Cheap heuristic first; fall back to the exact oracle when the
+    // heuristic certifies nothing new (the exact oracle decides
+    // optimality).
+    std::vector<SubtourViolation> violations;
+    if (options.use_support_heuristic) {
+      violations = FindViolatedSupportComponents(g, solution.x,
+                                                 options.tolerance);
+    }
+    int fresh = 0;
+    for (const SubtourViolation& violation : violations) {
+      if (installed.count(violation.vertices) == 0) ++fresh;
+    }
+    if (fresh == 0) {
+      violations = FindViolatedSubtourSets(g, solution.x, options.tolerance,
+                                           options.max_cuts_per_round);
+    }
+    bool added_any = false;
+    for (const SubtourViolation& violation : violations) {
+      if (!installed.insert(violation.vertices).second) continue;
+      AddSubtourConstraint(g, violation.vertices, &lp);
+      if (options.cut_pool != nullptr) {
+        options.cut_pool->push_back(violation.vertices);
+      }
+      ++result.cuts_added;
+      added_any = true;
+    }
+    if (!added_any) {
+      result.status = LpStatus::kOptimal;
+      result.value = solution.objective;
+      result.x = solution.x;
+      return result;
+    }
+  }
+  result.status = LpStatus::kIterationLimit;
+  return result;
+}
+
+ForestPolytopeResult MaximizeOverForestPolytopeExhaustive(
+    const Graph& g, double delta, const SimplexOptions& options) {
+  NODEDP_CHECK_GT(delta, 0.0);
+  NODEDP_CHECK_LE(g.NumVertices(), 18);
+  ForestPolytopeResult result;
+  const int n = g.NumVertices();
+  LpProblem lp(g.NumEdges());
+  for (int e = 0; e < g.NumEdges(); ++e) lp.SetObjective(e, 1.0);
+  // Constraints (6).
+  for (int v = 0; v < n; ++v) {
+    if (g.Degree(v) == 0) continue;
+    std::vector<std::pair<int, double>> row;
+    for (int edge_id : g.IncidentEdgeIds(v)) row.emplace_back(edge_id, 1.0);
+    lp.AddConstraint(std::move(row), delta);
+  }
+  // Constraints (5), every subset with at least 2 vertices and an edge.
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    const int size = __builtin_popcountll(mask);
+    if (size < 2) continue;
+    std::vector<std::pair<int, double>> row;
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      const Edge& edge = g.EdgeAt(e);
+      if (((mask >> edge.u) & 1ULL) && ((mask >> edge.v) & 1ULL)) {
+        row.emplace_back(e, 1.0);
+      }
+    }
+    if (row.empty()) continue;
+    lp.AddConstraint(std::move(row), size - 1.0);
+  }
+  const LpSolution solution = SolveLp(lp, options);
+  result.status = solution.status;
+  result.simplex_iterations = solution.iterations;
+  if (solution.status == LpStatus::kOptimal) {
+    result.value = solution.objective;
+    result.x = solution.x;
+  }
+  return result;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,107 @@
+// The Δ-bounded forest polytope P_Δ(G) of Definition 3.1 and the linear
+// program defining the Lipschitz extension:
+//
+//     f_Δ(G) = max x(E)   subject to
+//       (4) x(e) >= 0                    for every edge e,
+//       (5) x(E[S]) <= |S| - 1           for every S ⊆ V, |S| >= 2,
+//       (6) x(δ(v)) <= Δ                 for every vertex v.
+//
+// Constraint family (5) is exponential; following Padberg–Wolsey we separate
+// it in polynomial time. For a candidate x, a violated set exists iff
+//
+//     max_{∅ ≠ S ⊆ V} ( x(E[S]) - |S| ) > -1 ,
+//
+// and for a fixed root r the inner maximum over S ∋ r is a project-selection
+// (maximum-closure) problem solved by one s-t min cut: source → edge-node e
+// with capacity x(e); edge-node → both endpoints with capacity ∞; vertex →
+// sink with capacity 1; plus source → r with capacity ∞ to force r ∈ S. Then
+// max_{S∋r}(x(E[S]) - |S|) = x(E) - mincut, and S is the source side.
+//
+// The driver seeds the LP with the degree constraints (6) plus the pair
+// constraints x(e) <= 1 (the |S| = 2 instances of (5)), solves, separates,
+// adds violated cuts, and repeats until the oracle certifies feasibility.
+
+#ifndef NODEDP_CORE_FOREST_POLYTOPE_H_
+#define NODEDP_CORE_FOREST_POLYTOPE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "lp/simplex.h"
+
+namespace nodedp {
+
+struct ForestPolytopeOptions {
+  // Violation threshold for separation and feasibility certification.
+  double tolerance = 1e-7;
+  // Cutting-plane rounds before giving up with kIterationLimit.
+  int max_cut_rounds = 400;
+  // Max violated sets added per round (most violated first); <= 0 means all
+  // distinct violated sets found (one per root).
+  int max_cuts_per_round = 64;
+  // Before invoking the exact (max-flow) oracle each round, try the cheap
+  // heuristic: test the connected components of the LP support graph for
+  // violation. On forest LPs this finds most cuts at a fraction of the cost.
+  bool use_support_heuristic = true;
+  // Seed the LP with structural instances of (5) that are almost always
+  // binding: one row per connected component of G (x(E[comp]) <= |comp|-1,
+  // which upper-bounds the objective by f_sf) and one row per fundamental
+  // cycle of a BFS forest. Pure optimization; the oracle guarantees
+  // exactness either way.
+  bool seed_structural_cuts = true;
+  // Optional in/out pool of subtour sets used to seed the LP and extended
+  // with every newly separated set. Subtour constraints are independent of
+  // Δ, so a pool amortizes separation work across the whole GEM grid (see
+  // core/extension_family.h). Borrowed; may be nullptr.
+  std::vector<std::vector<int>>* cut_pool = nullptr;
+  SimplexOptions simplex;
+};
+
+struct SubtourViolation {
+  std::vector<int> vertices;  // the set S, sorted
+  double violation = 0.0;     // x(E[S]) - (|S| - 1) > 0
+};
+
+struct ForestPolytopeResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double value = 0.0;          // f_Δ(G) when status == kOptimal
+  std::vector<double> x;       // optimal edge weights (by edge id)
+  int cut_rounds = 0;
+  int cuts_added = 0;
+  long long simplex_iterations = 0;
+};
+
+// Exact separation oracle for constraints (5): returns violated sets, most
+// violated first, at most `max_sets` (<= 0 for all found), each violated by
+// more than `tolerance`.
+std::vector<SubtourViolation> FindViolatedSubtourSets(
+    const Graph& g, const std::vector<double>& x, double tolerance,
+    int max_sets);
+
+// Heuristic separation: checks only the connected components of the support
+// graph {e : x_e > tolerance}. Sound (returned sets are violated) but not
+// complete; the cutting-plane driver uses it as a cheap first pass.
+std::vector<SubtourViolation> FindViolatedSupportComponents(
+    const Graph& g, const std::vector<double>& x, double tolerance);
+
+// Greedy maximal forest with per-vertex degree cap floor(delta), taking
+// edges in decreasing `weights` order. The returned edge ids form a forest
+// whose indicator vector lies in P_Δ(G); the cutting-plane driver uses its
+// size as a primal lower bound for early termination. Requires delta >= 1.
+std::vector<int> GreedyDegreeBoundedForest(const Graph& g, double delta,
+                                           const std::vector<double>& weights);
+
+// Computes f_Δ(G) by cutting planes. Requires delta > 0. Operates on the
+// graph as given (no component decomposition; see lipschitz_extension.h for
+// the full evaluator).
+ForestPolytopeResult MaximizeOverForestPolytope(
+    const Graph& g, double delta, const ForestPolytopeOptions& options = {});
+
+// Reference evaluator that instantiates every subset constraint explicitly
+// (2^n rows). CHECKs n <= 18. Used to validate the cutting-plane driver.
+ForestPolytopeResult MaximizeOverForestPolytopeExhaustive(
+    const Graph& g, double delta, const SimplexOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_FOREST_POLYTOPE_H_

@@ -1,0 +1,119 @@
+#include "core/min_degree_forest.h"
+
+#include <vector>
+
+#include "core/repair.h"
+#include "graph/connectivity.h"
+#include "graph/subgraph.h"
+#include "graph/star.h"
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+// Backtracking decision: does the (connected) graph `g` have a spanning tree
+// of maximum degree <= delta? Branches include/exclude per edge in index
+// order with two prunes: degree/cycle feasibility for inclusion, and a
+// connectivity prune (included edges + still-usable undecided edges must
+// connect the graph).
+class SpanningTreeSearch {
+ public:
+  SpanningTreeSearch(const Graph& g, int delta, long long work_limit)
+      : g_(g), delta_(delta), work_(work_limit), degree_(g.NumVertices(), 0) {}
+
+  // nullopt = work limit exhausted.
+  std::optional<bool> Decide() {
+    UnionFind uf(g_.NumVertices());
+    const std::optional<bool> result =
+        Search(0, uf, g_.NumVertices() - CountConnectedComponents(g_));
+    return result;
+  }
+
+ private:
+  std::optional<bool> Search(int index, UnionFind uf, int needed) {
+    if (work_-- <= 0) return std::nullopt;
+    if (needed == 0) return true;
+    if (index >= g_.NumEdges()) return false;
+    if (!CanStillConnect(index, uf)) return false;
+
+    const Edge& e = g_.EdgeAt(index);
+    // Branch 1: include the edge.
+    if (degree_[e.u] < delta_ && degree_[e.v] < delta_ &&
+        !uf.Connected(e.u, e.v)) {
+      UnionFind next = uf;
+      next.Union(e.u, e.v);
+      ++degree_[e.u];
+      ++degree_[e.v];
+      const std::optional<bool> included = Search(index + 1, next, needed - 1);
+      --degree_[e.u];
+      --degree_[e.v];
+      if (!included.has_value() || *included) return included;
+    }
+    // Branch 2: exclude the edge.
+    return Search(index + 1, uf, needed);
+  }
+
+  // Included edges plus undecided edges that could still be added (both
+  // endpoint degrees below delta) must connect each component of g.
+  bool CanStillConnect(int index, UnionFind uf) {
+    for (int e = index; e < g_.NumEdges(); ++e) {
+      const Edge& edge = g_.EdgeAt(e);
+      if (degree_[edge.u] >= delta_ || degree_[edge.v] >= delta_) continue;
+      uf.Union(edge.u, edge.v);
+    }
+    return uf.NumSets() == CountConnectedComponents(g_);
+  }
+
+  const Graph& g_;
+  int delta_;
+  long long work_;
+  std::vector<int> degree_;
+};
+
+}  // namespace
+
+std::optional<bool> HasSpanningForestOfDegree(
+    const Graph& g, int delta, const MinDegreeForestOptions& options) {
+  NODEDP_CHECK_GE(delta, 0);
+  if (g.NumEdges() == 0) return true;
+  if (delta == 0) return false;
+  // Cheap certificate first.
+  if (RepairSpanningForest(g, delta).has_value()) return true;
+  long long budget = options.work_limit;
+  for (const std::vector<int>& component : ComponentVertexSets(g)) {
+    if (component.size() < 2) continue;
+    InducedSubgraph piece = Induce(g, component);
+    SpanningTreeSearch search(piece.graph, delta, budget);
+    const std::optional<bool> decided = search.Decide();
+    if (!decided.has_value()) return std::nullopt;
+    if (!*decided) return false;
+  }
+  return true;
+}
+
+std::optional<int> MinMaxDegreeSpanningForestExact(
+    const Graph& g, const MinDegreeForestOptions& options) {
+  if (g.NumEdges() == 0) return 0;
+  for (int delta = 1; delta <= g.NumVertices(); ++delta) {
+    const std::optional<bool> has = HasSpanningForestOfDegree(g, delta,
+                                                              options);
+    if (!has.has_value()) return std::nullopt;
+    if (*has) return delta;
+  }
+  NODEDP_CHECK_MSG(false, "BFS forest always bounds degree by n-1");
+  return std::nullopt;
+}
+
+int MinDegreeForestUpperBound(const Graph& g) {
+  if (g.NumEdges() == 0) return 0;
+  for (int delta = 1; delta <= g.NumVertices(); ++delta) {
+    if (RepairSpanningForest(g, delta).has_value()) return delta;
+  }
+  NODEDP_CHECK_MSG(false,
+                   "repair must succeed at delta = s(G)+1 <= n (Lemma 1.8)");
+  return g.NumVertices();
+}
+
+}  // namespace nodedp

@@ -1,0 +1,46 @@
+// Δ*: the smallest possible maximum degree of a spanning forest of G — the
+// quantity parameterizing the accuracy guarantee of Theorem 1.3.
+//
+// Deciding whether a graph has a spanning tree of maximum degree <= Δ is
+// NP-hard (Δ = 2 is the Hamiltonian-path problem), so no polynomial exact
+// algorithm is expected. The paper itself never computes Δ*; it uses the
+// bound Δ* <= DS_fsf(G) + 1 = s(G) + 1 (Lemma 1.6 + Lemma 1.7). We provide:
+//
+//   * an exact branch-and-bound for small graphs (used by tests and to
+//     validate Lemma 1.6 exhaustively),
+//   * the constructive upper bound: the smallest Δ for which the Algorithm 3
+//     repair succeeds (always <= s(G) + 1), and
+//   * the interval [lower, upper] combining both with the trivial bounds.
+
+#ifndef NODEDP_CORE_MIN_DEGREE_FOREST_H_
+#define NODEDP_CORE_MIN_DEGREE_FOREST_H_
+
+#include <optional>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+struct MinDegreeForestOptions {
+  // Branch-and-bound node budget for the exact decision procedure.
+  long long work_limit = 20'000'000;
+};
+
+// True/false if decidable within the work limit, nullopt otherwise:
+// does G have a spanning forest with maximum degree <= delta?
+std::optional<bool> HasSpanningForestOfDegree(
+    const Graph& g, int delta, const MinDegreeForestOptions& options = {});
+
+// Exact Δ* (0 for edgeless graphs). Returns nullopt if the work limit was
+// hit before the answer was certain.
+std::optional<int> MinMaxDegreeSpanningForestExact(
+    const Graph& g, const MinDegreeForestOptions& options = {});
+
+// Smallest delta in [1, s(G)+1] for which RepairSpanningForest succeeds.
+// Always a valid upper bound on Δ*; equals s(G)+1 in the worst case
+// (Lemma 1.6). Returns 0 for edgeless graphs.
+int MinDegreeForestUpperBound(const Graph& g);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_MIN_DEGREE_FOREST_H_

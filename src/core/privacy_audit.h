@@ -1,0 +1,61 @@
+// Empirical sensitivity auditing.
+//
+// The privacy of Algorithm 1 rests on two Lipschitz facts that are proved
+// on paper but easy to break in code (an off-by-one in the LP constraints,
+// a wrong scale in GEM): (i) the extension f_Δ changes by at most Δ between
+// node-neighbors, and (ii) the GEM scores s_i change by at most 1. This
+// module measures both over sampled node-neighbor pairs (vertex insertions
+// with random edge sets, and vertex deletions), reporting the worst
+// observed ratio. A ratio above 1 + tolerance is a privacy bug, full stop;
+// the audit is wired into the test suite and usable as a release gate.
+//
+// Auditing is a measurement of the implementation, not a proof; it samples
+// neighbors rather than enumerating them.
+
+#ifndef NODEDP_CORE_PRIVACY_AUDIT_H_
+#define NODEDP_CORE_PRIVACY_AUDIT_H_
+
+#include <vector>
+
+#include "core/lipschitz_extension.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nodedp {
+
+struct AuditOptions {
+  // Node-neighbor pairs sampled per (graph, delta) combination: half vertex
+  // insertions with i.i.d. Bernoulli(edge_p) edges, half deletions of a
+  // random vertex (skipped when the graph is empty).
+  int neighbor_samples = 20;
+  double edge_p = 0.5;
+  ExtensionOptions extension;
+};
+
+struct AuditReport {
+  // max over sampled pairs of |f_Δ(G) - f_Δ(G')| / Δ; must be <= 1.
+  double worst_extension_ratio = 0.0;
+  // max over sampled pairs and i of |s_i(G) - s_i(G')|; must be <= 1.
+  double worst_score_sensitivity = 0.0;
+  // max observed f_Δ(G') - f_Δ(G) < 0 case, i.e. violation of monotonicity
+  // under insertion (should stay ~0; monotone extensions only improve).
+  double worst_monotonicity_violation = 0.0;
+  int pairs_audited = 0;
+};
+
+// Audits the extension Lipschitz constants on `g` over the given deltas.
+AuditReport AuditExtensionLipschitz(const Graph& g,
+                                    const std::vector<double>& deltas,
+                                    Rng& rng,
+                                    const AuditOptions& options = {});
+
+// Audits the sensitivity of the GEM score vector (Algorithm 4 steps 5-6)
+// produced by the Algorithm 1 pipeline at privacy budget `epsilon` and
+// failure probability `beta`.
+AuditReport AuditGemScoreSensitivity(const Graph& g, double epsilon,
+                                     double beta, Rng& rng,
+                                     const AuditOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_PRIVACY_AUDIT_H_

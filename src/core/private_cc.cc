@@ -1,0 +1,111 @@
+#include "core/private_cc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/composition.h"
+#include "dp/laplace.h"
+#include "graph/connectivity.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+double DefaultBeta(int num_vertices) {
+  const double n = std::max(3, num_vertices);
+  const double beta = 1.0 / std::log(std::log(n) + 1.0);
+  return std::clamp(beta, 0.01, 0.25);
+}
+
+Result<SpanningForestRelease> PrivateSpanningForestSize(
+    const Graph& g, double epsilon, Rng& rng,
+    const PrivateCcOptions& options) {
+  ExtensionFamily family(g, options.extension);
+  return PrivateSpanningForestSize(family, epsilon, rng, options);
+}
+
+Result<SpanningForestRelease> PrivateSpanningForestSize(
+    ExtensionFamily& family, double epsilon, Rng& rng,
+    const PrivateCcOptions& options) {
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  PrivacyAccountant accountant(epsilon);
+  const double gem_epsilon = accountant.Spend(epsilon / 2.0, "gem");
+  const double laplace_epsilon =
+      accountant.Spend(epsilon / 2.0, "laplace-release");
+
+  SpanningForestRelease release;
+  release.beta = options.beta > 0.0 ? options.beta
+                                    : DefaultBeta(family.num_vertices());
+
+  const int delta_max = options.delta_max > 0
+                            ? options.delta_max
+                            : std::max(1, family.num_vertices());
+  release.grid = PowersOfTwoGrid(delta_max);
+
+  // Step 1 of Algorithm 4: evaluate the extension family and the scores
+  // q_Δ = |f_Δ − f_sf| + Δ/ε_gem. The extensions underestimate (Lemma 3.3),
+  // so the absolute value is f_sf − f_Δ.
+  const double f_sf = family.SpanningForestSizeValue();
+  std::vector<GemCandidate> candidates;
+  candidates.reserve(release.grid.size());
+  std::vector<double> extension_values;
+  extension_values.reserve(release.grid.size());
+  for (int delta : release.grid) {
+    Result<double> value = family.Value(delta);
+    if (!value.ok()) return value.status();
+    GemCandidate candidate;
+    candidate.lipschitz = delta;
+    candidate.q = (f_sf - *value) + delta / gem_epsilon;
+    candidates.push_back(candidate);
+    extension_values.push_back(*value);
+  }
+  release.candidates = candidates;
+
+  // Step 1 of Algorithm 1: GEM at ε/2.
+  const GemResult gem = GemSelect(candidates, gem_epsilon, release.beta, rng);
+  release.selected_delta = release.grid[gem.selected_index];
+
+  // Steps 2-3: release f_Δ̂ via the Laplace mechanism at ε/2; f_Δ̂ is
+  // Δ̂-Lipschitz (Lemma 3.3), so the scale is Δ̂/(ε/2) = 2Δ̂/ε.
+  release.extension_value = extension_values[gem.selected_index];
+  release.laplace_scale = release.selected_delta / laplace_epsilon;
+  release.estimate = LaplaceMechanism(release.extension_value,
+                                      release.selected_delta,
+                                      laplace_epsilon, rng);
+  return release;
+}
+
+Result<ConnectedComponentsRelease> PrivateConnectedComponents(
+    const Graph& g, double epsilon, Rng& rng,
+    const PrivateCcOptions& options) {
+  ExtensionFamily family(g, options.extension);
+  return PrivateConnectedComponents(family, epsilon, rng, options);
+}
+
+Result<ConnectedComponentsRelease> PrivateConnectedComponents(
+    ExtensionFamily& family, double epsilon, Rng& rng,
+    const PrivateCcOptions& options) {
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  NODEDP_CHECK_GT(options.node_count_budget_fraction, 0.0);
+  NODEDP_CHECK_LT(options.node_count_budget_fraction, 1.0);
+  PrivacyAccountant accountant(epsilon);
+  const double count_epsilon = accountant.Spend(
+      epsilon * options.node_count_budget_fraction, "node-count");
+  const double forest_epsilon =
+      accountant.Spend(epsilon - count_epsilon, "spanning-forest");
+
+  ConnectedComponentsRelease release;
+  // |V| has node-sensitivity exactly 1.
+  release.node_count_estimate = LaplaceMechanism(
+      family.num_vertices(), /*sensitivity=*/1.0, count_epsilon, rng);
+
+  Result<SpanningForestRelease> forest =
+      PrivateSpanningForestSize(family, forest_epsilon, rng, options);
+  if (!forest.ok()) return forest.status();
+  release.forest = std::move(forest).value();
+
+  // Eq. (1): f_cc = |V| - f_sf.
+  release.estimate = release.node_count_estimate - release.forest.estimate;
+  return release;
+}
+
+}  // namespace nodedp

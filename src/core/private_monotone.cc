@@ -1,0 +1,50 @@
+#include "core/private_monotone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ds_extension.h"
+#include "dp/composition.h"
+#include "dp/laplace.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+MonotoneRelease PrivateMonotoneStatistic(
+    const Graph& g, const std::function<double(const Graph&)>& statistic,
+    double epsilon, Rng& rng, const MonotoneReleaseOptions& options) {
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  NODEDP_CHECK_LE(g.NumVertices(), 14);
+  PrivacyAccountant accountant(epsilon);
+  const double gem_epsilon = accountant.Spend(epsilon / 2.0, "gem");
+  const double laplace_epsilon =
+      accountant.Spend(epsilon / 2.0, "laplace-release");
+  const double beta = options.beta > 0.0 ? options.beta : 0.1;
+
+  const int delta_max = options.delta_max > 0
+                            ? options.delta_max
+                            : std::max(1, g.NumVertices());
+  const std::vector<int> grid = PowersOfTwoGrid(delta_max);
+
+  const double truth = statistic(g);
+  MonotoneRelease release;
+  std::vector<double> values;
+  for (int delta : grid) {
+    const double value = DownSensitivityExtension(g, delta, statistic);
+    values.push_back(value);
+    release.candidates.push_back(GemCandidate{
+        static_cast<double>(delta),
+        std::fabs(value - truth) + delta / gem_epsilon});
+  }
+
+  const GemResult gem =
+      GemSelect(release.candidates, gem_epsilon, beta, rng);
+  release.selected_delta = grid[gem.selected_index];
+  release.extension_value = values[gem.selected_index];
+  release.estimate =
+      LaplaceMechanism(release.extension_value, release.selected_delta,
+                       laplace_epsilon, rng);
+  return release;
+}
+
+}  // namespace nodedp

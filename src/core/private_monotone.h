@@ -1,0 +1,54 @@
+// Theorem A.2 (after Raskhodnikova–Smith): a node-private release of ANY
+// monotone nondecreasing graph statistic, with error bounded by its
+// down-sensitivity, via the Lemma A.1 extension family + GEM.
+//
+// This is the generic counterpart to Algorithm 1: where the main algorithm
+// uses the polynomial-time forest-polytope extensions specific to f_sf,
+// this mechanism plugs the brute-force down-sensitivity extension
+// (core/ds_extension.h) into the same GEM + Laplace pipeline. Evaluating
+// the extension enumerates all induced subgraphs, so the mechanism is a
+// *reference implementation* restricted to small graphs (NumVertices() <=
+// 14) — exactly the role Appendix A plays in the paper (existence, not
+// efficiency).
+//
+// Deviation note (see DESIGN.md §7): the literal Lemma A.1 extension is not
+// always an underestimate below the anchor threshold; the GEM scores are
+// computed from the literal definition q_Δ = |f̂_Δ(G) − f(G)| + Δ/ε either
+// way, which keeps the selection meaningful.
+
+#ifndef NODEDP_CORE_PRIVATE_MONOTONE_H_
+#define NODEDP_CORE_PRIVATE_MONOTONE_H_
+
+#include <functional>
+#include <vector>
+
+#include "dp/gem.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nodedp {
+
+struct MonotoneReleaseOptions {
+  // GEM failure probability; <= 0 selects DefaultBeta-style 0.1.
+  double beta = 0.0;
+  // Upper end of the Δ grid; <= 0 means NumVertices() (DS never exceeds n).
+  int delta_max = 0;
+};
+
+struct MonotoneRelease {
+  double estimate = 0.0;
+  int selected_delta = 0;
+  double extension_value = 0.0;   // f̂_Δ̂(G), pre-noise (NOT private)
+  std::vector<GemCandidate> candidates;  // diagnostics (NOT private)
+};
+
+// ε-node-private release of `statistic`, which must be monotone
+// nondecreasing under node insertion (e.g. f_sf, edge count, max-clique
+// size). CHECKs NumVertices() <= 14.
+MonotoneRelease PrivateMonotoneStatistic(
+    const Graph& g, const std::function<double(const Graph&)>& statistic,
+    double epsilon, Rng& rng, const MonotoneReleaseOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_PRIVATE_MONOTONE_H_

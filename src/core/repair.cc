@@ -1,0 +1,103 @@
+#include "core/repair.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+// One pass of Algorithm 3: repeatedly repair while some vertex has forest
+// degree delta + 1. `previous` is v_{i-1}, the vertex repaired in the prior
+// iteration (excluded from the neighbor set N in step 4).
+bool RunLocalRepairs(const Graph& g, int delta, Forest& forest, int previous,
+                     int overloaded, RepairStats* stats) {
+  while (overloaded >= 0) {
+    NODEDP_DCHECK(forest.Degree(overloaded) == delta + 1);
+    // Step 4: N = delta forest-neighbors of v_i, excluding v_{i-1}.
+    std::vector<int> candidates;
+    candidates.reserve(delta);
+    for (int nbr : forest.Neighbors(overloaded)) {
+      if (nbr != previous) candidates.push_back(nbr);
+    }
+    NODEDP_DCHECK(static_cast<int>(candidates.size()) == delta ||
+                  previous < 0);
+    if (static_cast<int>(candidates.size()) > delta) {
+      candidates.resize(delta);
+    }
+    // Step 5: find a, b in N adjacent in G. Failure certifies an induced
+    // delta-star centered at v_i.
+    int a = -1;
+    int b = -1;
+    for (size_t i = 0; i < candidates.size() && a < 0; ++i) {
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (g.HasEdge(candidates[i], candidates[j])) {
+          a = candidates[i];
+          b = candidates[j];
+          break;
+        }
+      }
+    }
+    if (a < 0) return false;
+    // Step 6: F <- (F \ {(v_i, b)}) ∪ {(a, b)}.
+    forest.RemoveEdge(overloaded, b);
+    forest.AddEdge(a, b);
+    if (stats != nullptr) ++stats->local_repairs;
+    // Per Claim 4.1(c), the only possibly-overloaded vertex is now a.
+    previous = overloaded;
+    overloaded = (forest.Degree(a) > delta) ? a : -1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Forest> RepairSpanningForest(const Graph& g, int delta,
+                                           RepairStats* stats) {
+  NODEDP_CHECK_GE(delta, 1);
+  const int n = g.NumVertices();
+  Forest forest(n);
+
+  // BFS insertion order: parents precede children, so each inserted vertex
+  // attaches as a leaf (the non-cut-vertex v_0 of the paper's induction).
+  std::vector<int> parent(n, -1);
+  std::vector<bool> visited(n, false);
+  std::queue<int> queue;
+  std::vector<int> order;
+  order.reserve(n);
+  for (int root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    queue.push(root);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      order.push_back(u);
+      for (int v : g.Neighbors(u)) {
+        if (visited[v]) continue;
+        visited[v] = true;
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+  }
+
+  for (int v0 : order) {
+    const int v1 = parent[v0];
+    if (v1 < 0) continue;  // component root: inserted with no edge
+    forest.AddEdge(v0, v1);
+    if (forest.Degree(v1) > delta) {
+      if (!RunLocalRepairs(g, delta, forest, /*previous=*/v0,
+                           /*overloaded=*/v1, stats)) {
+        return std::nullopt;
+      }
+    }
+  }
+  NODEDP_DCHECK(forest.MaxDegree() <= delta);
+  NODEDP_DCHECK(forest.IsSpanningForestOf(g));
+  return forest;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,43 @@
+// Constructive proof of Lemma 1.8: a graph with no induced Δ-star has a
+// spanning Δ-forest, built by a sequence of "local repairs" (Algorithm 3).
+//
+// Vertices are inserted in BFS order (each new vertex is a leaf of the
+// spanning forest restricted to the already-inserted vertices, hence not a
+// cut vertex of the growing induced subgraph, exactly as the induction in
+// the paper requires). After attaching a new vertex, at most one vertex can
+// exceed degree Δ; a local repair at that vertex v replaces a forest edge
+// (v, b) by a graph edge (a, b) between two of v's forest neighbors, which
+// exists whenever G has no induced Δ-star. By Claim 4.1 the repair sites
+// form a path, so the loop terminates.
+//
+// Besides proving the lemma, the procedure doubles as a fast *exactness
+// certificate* for the Lipschitz extension: if it succeeds, the indicator
+// vector of the produced forest lies in P_Δ(G) and f_Δ(G) = f_sf(G)
+// (Lemma 3.3, Item 1), so the LP can be skipped entirely.
+
+#ifndef NODEDP_CORE_REPAIR_H_
+#define NODEDP_CORE_REPAIR_H_
+
+#include <optional>
+
+#include "graph/forest.h"
+#include "graph/graph.h"
+
+namespace nodedp {
+
+struct RepairStats {
+  int local_repairs = 0;  // total executions of Algorithm 3 step 6
+};
+
+// Attempts to build a spanning forest of g with maximum degree <= delta.
+//
+// Guaranteed to succeed when s(G) < delta (Lemma 1.8); may also succeed on
+// graphs with larger induced stars. Returns nullopt when a repair step finds
+// Δ pairwise-non-adjacent forest neighbors (certifying an induced Δ-star,
+// at which point the caller falls back to the LP). Requires delta >= 1.
+std::optional<Forest> RepairSpanningForest(const Graph& g, int delta,
+                                           RepairStats* stats = nullptr);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_REPAIR_H_

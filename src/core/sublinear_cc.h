@@ -1,0 +1,44 @@
+// Sublinear (non-private) estimation of the number of connected components
+// by vertex sampling with truncated BFS — the classical baseline family the
+// paper's introduction cites ([CRT05], [BKM14], [KW20]).
+//
+// The estimator uses the identity f_cc(G) = Σ_v 1/|C(v)| (each component
+// contributes 1). Sample s vertices uniformly; for each, run BFS truncated
+// at `cutoff` visited vertices and contribute 1/|C(v)| if the component was
+// exhausted, 0 otherwise. The estimate is n times the sample mean.
+// Truncation biases the estimate DOWN by at most n/cutoff (components
+// larger than the cutoff contribute less than 1 each... at most
+// n/cutoff · cutoff · (1/cutoff) = n/cutoff in total), and sampling adds
+// O(n/sqrt(s)) noise — the standard additive-error trade-off of the
+// sublinear literature.
+//
+// Role in this repo: a NON-private comparator for the experiments. It shows
+// what error one already tolerates for *efficiency* reasons without any
+// privacy, putting the node-DP error of Algorithm 1 in context.
+
+#ifndef NODEDP_CORE_SUBLINEAR_CC_H_
+#define NODEDP_CORE_SUBLINEAR_CC_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nodedp {
+
+struct SublinearCcOptions {
+  int num_samples = 256;
+  int bfs_cutoff = 64;  // component-size truncation threshold
+};
+
+struct SublinearCcEstimate {
+  double estimate = 0.0;
+  int vertices_visited = 0;  // total BFS work actually performed
+};
+
+// Estimates f_cc(G). Not differentially private. Requires num_samples >= 1
+// and bfs_cutoff >= 1; returns 0 for the empty graph.
+SublinearCcEstimate SublinearConnectedComponents(
+    const Graph& g, Rng& rng, const SublinearCcOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_SUBLINEAR_CC_H_

@@ -1,0 +1,115 @@
+#include "core/win_decomposition.h"
+
+#include <algorithm>
+
+#include "core/min_degree_forest.h"
+#include "graph/connectivity.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+uint64_t MaskOf(const std::vector<int>& vertices) {
+  uint64_t mask = 0;
+  for (int v : vertices) mask |= (1ULL << v);
+  return mask;
+}
+
+std::vector<int> VerticesOf(uint64_t mask, int n) {
+  std::vector<int> vertices;
+  for (int v = 0; v < n; ++v) {
+    if ((mask >> v) & 1ULL) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+// Condition (1): the subgraph induced by s_mask is connected and has a
+// spanning tree of maximum degree <= delta.
+bool HasSpanningDeltaTree(const Graph& g, uint64_t s_mask, int delta) {
+  const InducedSubgraph s = InduceByMask(g, s_mask);
+  if (s.graph.NumVertices() == 0) return false;
+  if (CountConnectedComponents(s.graph) != 1) return false;
+  const std::optional<bool> decision =
+      HasSpanningForestOfDegree(s.graph, delta);
+  return decision.has_value() && *decision;
+}
+
+}  // namespace
+
+bool IsWinDecomposition(const Graph& g, int delta,
+                        const std::vector<int>& s_vertices,
+                        const std::vector<int>& x_vertices) {
+  NODEDP_CHECK_GE(delta, 2);
+  NODEDP_CHECK_LE(g.NumVertices(), 14);
+  const uint64_t s_mask = MaskOf(s_vertices);
+  const uint64_t x_mask = MaskOf(x_vertices);
+  if ((x_mask & ~s_mask) != 0) return false;  // X must lie inside S
+  if (x_mask == s_mask) return false;         // X ⊂ V(S) strictly
+  // (1)
+  if (!HasSpanningDeltaTree(g, s_mask, delta)) return false;
+  // (2): no edges between G \ V(S) and S \ X.
+  const uint64_t core_mask = s_mask & ~x_mask;  // S \ X
+  for (const Edge& e : g.Edges()) {
+    const bool u_out = !((s_mask >> e.u) & 1ULL);
+    const bool v_out = !((s_mask >> e.v) & 1ULL);
+    const bool u_core = (core_mask >> e.u) & 1ULL;
+    const bool v_core = (core_mask >> e.v) & 1ULL;
+    if ((u_out && v_core) || (v_out && u_core)) return false;
+  }
+  // (3): f_cc(S \ X) >= |X|(Δ-2) + 2.
+  const InducedSubgraph core = InduceByMask(g, core_mask);
+  const int x_size = __builtin_popcountll(x_mask);
+  return CountConnectedComponents(core.graph) >= x_size * (delta - 2) + 2;
+}
+
+std::optional<WinDecomposition> FindWinDecomposition(const Graph& g,
+                                                     int delta) {
+  NODEDP_CHECK_GE(delta, 2);
+  const int n = g.NumVertices();
+  NODEDP_CHECK_LE(n, 12);
+  const uint64_t num_masks = 1ULL << n;
+
+  // Precompute condition (1) per candidate S.
+  std::vector<bool> has_tree(num_masks, false);
+  for (uint64_t s = 1; s < num_masks; ++s) {
+    has_tree[s] = HasSpanningDeltaTree(g, s, delta);
+  }
+  // Precompute f_cc per subset for condition (3).
+  std::vector<int> cc(num_masks, 0);
+  for (uint64_t mask = 1; mask < num_masks; ++mask) {
+    cc[mask] = CountConnectedComponents(InduceByMask(g, mask).graph);
+  }
+
+  for (uint64_t s = 1; s < num_masks; ++s) {
+    if (!has_tree[s]) continue;
+    // Enumerate proper submasks X of S (x != s), including the empty set.
+    uint64_t x = s;
+    do {
+      x = (x - 1) & s;
+      const uint64_t core = s & ~x;
+      const int x_size = __builtin_popcountll(x);
+      if (cc[core] < x_size * (delta - 2) + 2) continue;
+      bool separated = true;
+      for (const Edge& e : g.Edges()) {
+        const bool u_out = !((s >> e.u) & 1ULL);
+        const bool v_out = !((s >> e.v) & 1ULL);
+        const bool u_core = (core >> e.u) & 1ULL;
+        const bool v_core = (core >> e.v) & 1ULL;
+        if ((u_out && v_core) || (v_out && u_core)) {
+          separated = false;
+          break;
+        }
+      }
+      if (!separated) continue;
+      WinDecomposition result;
+      result.s_vertices = VerticesOf(s, n);
+      result.x_vertices = VerticesOf(x, n);
+      return result;
+    } while (x != 0);
+  }
+  return std::nullopt;
+}
+
+}  // namespace nodedp

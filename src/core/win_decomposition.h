@@ -1,0 +1,43 @@
+// Win's decomposition (Lemma 5.1, after [Win89]): if a graph has no
+// spanning Δ-forest (Δ >= 2), there exist an induced subgraph S ⪯ G and a
+// vertex set X ⊂ V(S) with
+//   (1) S has a spanning Δ-tree (S is connected),
+//   (2) G has no edges between G \ V(S) and S \ X,
+//   (3) f_cc(S \ X) >= |X|·(Δ-2) + 2.
+//
+// The decomposition is the combinatorial engine behind the ℓ∞-optimality
+// proof (Lemma 5.2 / Theorem 1.11). This module finds such a pair by
+// exhaustive search on small graphs, which lets the test suite and E8
+// verify the lemma itself — not just its downstream consequences — on every
+// small instance without a spanning Δ-forest.
+
+#ifndef NODEDP_CORE_WIN_DECOMPOSITION_H_
+#define NODEDP_CORE_WIN_DECOMPOSITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+struct WinDecomposition {
+  std::vector<int> s_vertices;  // V(S), sorted
+  std::vector<int> x_vertices;  // X ⊂ V(S), sorted
+};
+
+// Checks conditions (1)-(3) for a candidate pair. Exposed for tests.
+bool IsWinDecomposition(const Graph& g, int delta,
+                        const std::vector<int>& s_vertices,
+                        const std::vector<int>& x_vertices);
+
+// Exhaustive search over (S, X). Requires delta >= 2 and NumVertices() <= 14
+// (the search enumerates all subset pairs, 3^n candidates). Returns nullopt
+// iff no decomposition exists — which, by Lemma 5.1, can only happen when G
+// has a spanning Δ-forest.
+std::optional<WinDecomposition> FindWinDecomposition(const Graph& g,
+                                                     int delta);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_CORE_WIN_DECOMPOSITION_H_

@@ -1,0 +1,55 @@
+// Sequential-composition budget accounting (Lemma 2.4): an algorithm that
+// runs subroutines with budgets ε_1..ε_t is (Σ ε_i)-node-private.
+//
+// The accountant is a guard rail for pipeline code: each mechanism call
+// spends from a fixed total and over-spending CHECK-fails, making budget
+// arithmetic mistakes loud instead of silently non-private.
+
+#ifndef NODEDP_DP_COMPOSITION_H_
+#define NODEDP_DP_COMPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+class PrivacyAccountant {
+ public:
+  explicit PrivacyAccountant(double total_epsilon)
+      : total_(total_epsilon), spent_(0.0) {
+    NODEDP_CHECK_GT(total_epsilon, 0.0);
+  }
+
+  // Reserves `epsilon` of budget for the named mechanism. CHECK-fails if the
+  // total would be exceeded (beyond a tiny numeric slack).
+  double Spend(double epsilon, std::string label) {
+    NODEDP_CHECK_GT(epsilon, 0.0);
+    NODEDP_CHECK_MSG(spent_ + epsilon <= total_ * (1.0 + 1e-12),
+                     "privacy budget exceeded by '" << label << "': spent "
+                                                    << spent_ << " + "
+                                                    << epsilon << " > "
+                                                    << total_);
+    spent_ += epsilon;
+    ledger_.emplace_back(std::move(label), epsilon);
+    return epsilon;
+  }
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+  const std::vector<std::pair<std::string, double>>& ledger() const {
+    return ledger_;
+  }
+
+ private:
+  double total_;
+  double spent_;
+  std::vector<std::pair<std::string, double>> ledger_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_DP_COMPOSITION_H_

@@ -1,0 +1,48 @@
+#include "dp/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+int ExponentialMechanismMin(const std::vector<double>& scores,
+                            double sensitivity, double epsilon, Rng& rng) {
+  NODEDP_CHECK(!scores.empty());
+  NODEDP_CHECK_GT(sensitivity, 0.0);
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  // Gumbel-max: argmax over (-eps * s_i / (2*sens)) + Gumbel_i is
+  // distributed as Pr[i] ∝ exp(-eps*s_i/(2*sens)).
+  const double scale = epsilon / (2.0 * sensitivity);
+  int best = -1;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+    const double key = -scale * scores[i] + rng.NextGumbel();
+    if (key > best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> ExponentialMechanismProbabilities(
+    const std::vector<double>& scores, double sensitivity, double epsilon) {
+  NODEDP_CHECK(!scores.empty());
+  const double scale = epsilon / (2.0 * sensitivity);
+  // Log-sum-exp with max subtraction.
+  const double max_exponent =
+      -scale * *std::min_element(scores.begin(), scores.end());
+  double total = 0.0;
+  std::vector<double> probabilities(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probabilities[i] = std::exp(-scale * scores[i] - max_exponent);
+    total += probabilities[i];
+  }
+  for (double& p : probabilities) p /= total;
+  return probabilities;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,31 @@
+// Exponential Mechanism of McSherry and Talwar (Theorem B.1), in the
+// "minimize score" convention used by GEM: selects index i with
+//
+//   Pr[i] ∝ exp(-epsilon * score_i / (2 * sensitivity)).
+//
+// Sampling uses the Gumbel-max trick (argmin of score*scale + Gumbel noise),
+// which is numerically stable for widely spread scores and avoids computing
+// the normalizing constant.
+
+#ifndef NODEDP_DP_EXPONENTIAL_H_
+#define NODEDP_DP_EXPONENTIAL_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace nodedp {
+
+// Returns the selected index in [0, scores.size()). Requires a nonempty
+// score vector, epsilon > 0, sensitivity > 0.
+int ExponentialMechanismMin(const std::vector<double>& scores,
+                            double sensitivity, double epsilon, Rng& rng);
+
+// Exact selection probabilities of the mechanism above (for tests and
+// diagnostics; computing them is not privatized).
+std::vector<double> ExponentialMechanismProbabilities(
+    const std::vector<double>& scores, double sensitivity, double epsilon);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_DP_EXPONENTIAL_H_

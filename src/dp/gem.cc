@@ -1,0 +1,60 @@
+#include "dp/gem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/exponential.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+GemResult GemSelect(const std::vector<GemCandidate>& candidates,
+                    double epsilon, double beta, Rng& rng) {
+  NODEDP_CHECK(!candidates.empty());
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  NODEDP_CHECK_GT(beta, 0.0);
+  NODEDP_CHECK_LT(beta, 1.0);
+  for (const GemCandidate& c : candidates) {
+    NODEDP_CHECK_GT(c.lipschitz, 0.0);
+  }
+
+  GemResult result;
+  // Step 1: t = 2 log(k / beta) / eps with k = |I| - 1 (= floor(log2 Δmax)
+  // for the powers-of-two grid). Guard k >= 1 so a singleton grid works.
+  const double k = std::max<double>(1.0, candidates.size() - 1);
+  result.shift_t = 2.0 * std::log(k / beta) / epsilon;
+
+  // Steps 5-6: pairwise-normalized scores of sensitivity <= 1.
+  const int count = static_cast<int>(candidates.size());
+  result.scores.resize(count);
+  for (int i = 0; i < count; ++i) {
+    const double qi_shifted =
+        candidates[i].q + result.shift_t * candidates[i].lipschitz;
+    double score = -std::numeric_limits<double>::infinity();
+    for (int j = 0; j < count; ++j) {
+      const double qj_shifted =
+          candidates[j].q + result.shift_t * candidates[j].lipschitz;
+      score = std::max(score, (qi_shifted - qj_shifted) /
+                                  (candidates[i].lipschitz +
+                                   candidates[j].lipschitz));
+    }
+    result.scores[i] = score;
+  }
+
+  // Step 7: exponential mechanism with sensitivity-1 scores at budget eps.
+  result.selected_index =
+      ExponentialMechanismMin(result.scores, /*sensitivity=*/1.0, epsilon,
+                              rng);
+  return result;
+}
+
+std::vector<int> PowersOfTwoGrid(int delta_max) {
+  NODEDP_CHECK_GE(delta_max, 1);
+  std::vector<int> grid;
+  for (long long value = 1; value <= delta_max; value *= 2) {
+    grid.push_back(static_cast<int>(value));
+  }
+  return grid;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,54 @@
+// Generalized Exponential Mechanism of Raskhodnikova and Smith (RS16b),
+// adapted for threshold selection over a family of Lipschitz extensions
+// exactly as in Algorithm 4 / Theorem 3.5 of the paper.
+//
+// Given candidates i ∈ I (here: Lipschitz parameters, powers of two in
+// [1, Δmax]) with approximation errors
+//
+//     q_i(G) = |h_i(G) − h(G)| + i/ε                      (Eq. (7))
+//
+// the mechanism computes the relative scores
+//
+//     s_i(G) = max_j ((q_i + t·i) − (q_j + t·j)) / (i + j),  t = 2·ln(k/β)/ε
+//
+// each of which has node-sensitivity at most 1 because q_i changes by at
+// most i between node-neighbors (h_i is i-Lipschitz; the additive h(G) term
+// cancels in the difference, cf. the footnote in Appendix B). It then runs
+// the ε-DP exponential mechanism over the s_i and returns the chosen index.
+//
+// Guarantee (Theorem 3.5): with probability ≥ 1 − β the selected î
+// satisfies q_î ≤ q_i · O(ln(ln(Δmax)/β)) for every i.
+
+#ifndef NODEDP_DP_GEM_H_
+#define NODEDP_DP_GEM_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace nodedp {
+
+struct GemCandidate {
+  double lipschitz = 1.0;  // the sensitivity bound i of this candidate
+  double q = 0.0;          // approximation error err_h(i, G), Eq. (7)
+};
+
+struct GemResult {
+  int selected_index = -1;
+  std::vector<double> scores;  // the s_i actually fed to the EM
+  double shift_t = 0.0;        // the t used
+};
+
+// Runs Algorithm 4 steps 5-8 given precomputed q_i. `epsilon` is the GEM's
+// own privacy budget; `beta` its failure probability. Candidates must be
+// nonempty with strictly positive Lipschitz parameters.
+GemResult GemSelect(const std::vector<GemCandidate>& candidates,
+                    double epsilon, double beta, Rng& rng);
+
+// The candidate grid of Algorithm 4 step 1: {2^0, 2^1, ..., 2^k} with
+// k = floor(log2(delta_max)); delta_max >= 1.
+std::vector<int> PowersOfTwoGrid(int delta_max);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_DP_GEM_H_

@@ -1,0 +1,30 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng) {
+  NODEDP_CHECK_GT(epsilon, 0.0);
+  NODEDP_CHECK_GE(sensitivity, 0.0);
+  if (sensitivity == 0.0) return value;
+  return value + rng.NextLaplace(sensitivity / epsilon);
+}
+
+double LaplaceTailProbability(double b, double t) {
+  NODEDP_CHECK_GT(b, 0.0);
+  NODEDP_CHECK_GE(t, 0.0);
+  return std::exp(-t / b);
+}
+
+double LaplaceTailBound(double b, double beta) {
+  NODEDP_CHECK_GT(b, 0.0);
+  NODEDP_CHECK_GT(beta, 0.0);
+  NODEDP_CHECK_LE(beta, 1.0);
+  return b * std::log(1.0 / beta);
+}
+
+}  // namespace nodedp

@@ -1,0 +1,24 @@
+// Laplace mechanism (Theorem 2.2) and Laplace tail utilities (Lemma 2.3).
+
+#ifndef NODEDP_DP_LAPLACE_H_
+#define NODEDP_DP_LAPLACE_H_
+
+#include "util/random.h"
+
+namespace nodedp {
+
+// Releases value + Lap(sensitivity / epsilon). With `sensitivity` an upper
+// bound on the global node-sensitivity of the statistic being released, the
+// output is epsilon-node-private (Theorem 2.2).
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng);
+
+// P[|Lap(b)| >= t] = exp(-t / b) (Lemma 2.3).
+double LaplaceTailProbability(double b, double t);
+
+// Smallest t with P[|Lap(b)| >= t] <= beta, i.e., t = b * ln(1 / beta).
+double LaplaceTailBound(double b, double beta);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_DP_LAPLACE_H_

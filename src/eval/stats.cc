@@ -1,0 +1,47 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+double Quantile(std::vector<double> values, double q) {
+  NODEDP_CHECK(!values.empty());
+  NODEDP_CHECK_GE(q, 0.0);
+  NODEDP_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double raw_rank = std::ceil(q * static_cast<double>(values.size()));
+  const auto rank = static_cast<size_t>(std::clamp<double>(
+      raw_rank - 1.0, 0.0, static_cast<double>(values.size() - 1)));
+  return values[rank];
+}
+
+ErrorSummary SummarizeErrors(std::vector<double> errors) {
+  ErrorSummary summary;
+  summary.count = static_cast<int>(errors.size());
+  if (errors.empty()) return summary;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(errors.size());
+  for (double e : errors) {
+    sum += e;
+    sum_sq += e * e;
+    abs_errors.push_back(std::fabs(e));
+  }
+  summary.mean = sum / summary.count;
+  const double variance =
+      std::max(0.0, sum_sq / summary.count - summary.mean * summary.mean);
+  summary.stddev = std::sqrt(variance);
+  double abs_sum = 0.0;
+  for (double a : abs_errors) abs_sum += a;
+  summary.mean_abs = abs_sum / summary.count;
+  summary.median_abs = Quantile(abs_errors, 0.5);
+  summary.p90_abs = Quantile(abs_errors, 0.9);
+  summary.max_abs = *std::max_element(abs_errors.begin(), abs_errors.end());
+  return summary;
+}
+
+}  // namespace nodedp

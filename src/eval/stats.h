@@ -1,0 +1,28 @@
+// Error statistics over repeated trials for the experiment harness.
+
+#ifndef NODEDP_EVAL_STATS_H_
+#define NODEDP_EVAL_STATS_H_
+
+#include <vector>
+
+namespace nodedp {
+
+struct ErrorSummary {
+  int count = 0;
+  double mean_abs = 0.0;
+  double median_abs = 0.0;
+  double p90_abs = 0.0;
+  double max_abs = 0.0;
+  double mean = 0.0;    // signed mean (bias)
+  double stddev = 0.0;  // of signed errors
+};
+
+// Summarizes signed errors (estimate - truth).
+ErrorSummary SummarizeErrors(std::vector<double> errors);
+
+// Empirical quantile (q in [0,1]) of a sample by nearest-rank.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_EVAL_STATS_H_

@@ -1,0 +1,70 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/stringutil.h"
+
+namespace nodedp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NODEDP_CHECK(!headers_.empty());
+}
+
+Table& Table::Cell(const std::string& value) {
+  NODEDP_CHECK_LT(current_.size(), headers_.size());
+  current_.push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(long long value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(int value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int digits) {
+  return Cell(FormatDouble(value, digits));
+}
+
+void Table::EndRow() {
+  NODEDP_CHECK_EQ(current_.size(), headers_.size());
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out.width(static_cast<std::streamsize>(widths[c]));
+      out << row[c];
+    }
+    out << '\n';
+  };
+  out.setf(std::ios::right);
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& out) const {
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << '\n';
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+}  // namespace nodedp

@@ -1,0 +1,38 @@
+// Fixed-width console tables for the experiment binaries: every bench prints
+// the paper-style series (one row per sweep point) through this printer, so
+// all experiment output is uniformly formatted and machine-greppable.
+
+#ifndef NODEDP_EVAL_TABLE_H_
+#define NODEDP_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nodedp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell helpers; AddRow finalizes the current row.
+  Table& Cell(const std::string& value);
+  Table& Cell(long long value);
+  Table& Cell(int value);
+  Table& Cell(double value, int digits = 3);
+  void EndRow();
+
+  void Print(std::ostream& out) const;
+
+  // Writes the table as CSV (headers + rows).
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_EVAL_TABLE_H_

@@ -1,0 +1,86 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+Dinic::Dinic(int num_nodes)
+    : first_arc_(num_nodes, -1), level_(num_nodes), iter_(num_nodes) {
+  NODEDP_CHECK_GE(num_nodes, 0);
+}
+
+int Dinic::AddArc(int u, int v, double capacity) {
+  NODEDP_CHECK_GE(capacity, 0.0);
+  NODEDP_DCHECK(u >= 0 && u < num_nodes());
+  NODEDP_DCHECK(v >= 0 && v < num_nodes());
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{v, first_arc_[u], capacity});
+  first_arc_[u] = id;
+  arcs_.push_back(Arc{u, first_arc_[v], 0.0});
+  first_arc_[v] = id + 1;
+  return id;
+}
+
+bool Dinic::BuildLevels(int source, int sink, double eps) {
+  std::fill(level_.begin(), level_.end(), -1);
+  level_[source] = 0;
+  std::queue<int> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int a = first_arc_[u]; a >= 0; a = arcs_[a].next) {
+      if (arcs_[a].residual > eps && level_[arcs_[a].to] < 0) {
+        level_[arcs_[a].to] = level_[u] + 1;
+        queue.push(arcs_[a].to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double Dinic::Push(int u, int sink, double limit, double eps) {
+  if (u == sink) return limit;
+  for (int& a = iter_[u]; a >= 0; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.residual > eps && level_[arc.to] == level_[u] + 1) {
+      const double pushed =
+          Push(arc.to, sink, std::min(limit, arc.residual), eps);
+      if (pushed > eps) {
+        arc.residual -= pushed;
+        arcs_[a ^ 1].residual += pushed;
+        return pushed;
+      }
+    }
+  }
+  level_[u] = -1;  // dead end; prune from this phase
+  return 0.0;
+}
+
+double Dinic::Solve(int source, int sink, double eps) {
+  NODEDP_CHECK_MSG(!solved_, "Dinic::Solve may be called only once");
+  NODEDP_CHECK_NE(source, sink);
+  solved_ = true;
+  double total = 0.0;
+  while (BuildLevels(source, sink, eps)) {
+    iter_ = first_arc_;
+    for (;;) {
+      const double pushed = Push(source, sink, kInfinity, eps);
+      if (pushed <= eps) break;
+      total += pushed;
+    }
+  }
+  // Final residual BFS defines the cut; BuildLevels already left level_ with
+  // source-side reachability (level >= 0).
+  return total;
+}
+
+bool Dinic::OnSourceSide(int v) const {
+  NODEDP_CHECK_MSG(solved_, "call Solve() first");
+  return level_[v] >= 0;
+}
+
+}  // namespace nodedp

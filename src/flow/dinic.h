@@ -1,0 +1,58 @@
+// Dinic max-flow with real-valued capacities and min-cut extraction.
+//
+// Substrate for the separation oracle over the forest polytope
+// (Definition 3.1, constraints (5)): each separation query is a
+// project-selection min cut. Capacities are doubles; the oracle's networks
+// have small integral structure (unit vertex capacities plus LP edge
+// weights), and Dinic terminates in O(V^2 E) augmentations regardless, with
+// an epsilon floor to ignore numerically empty augmenting paths.
+
+#ifndef NODEDP_FLOW_DINIC_H_
+#define NODEDP_FLOW_DINIC_H_
+
+#include <limits>
+#include <vector>
+
+namespace nodedp {
+
+class Dinic {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  explicit Dinic(int num_nodes);
+
+  // Adds a directed arc u -> v with the given capacity (and a zero-capacity
+  // reverse arc). Returns the arc id of the forward arc.
+  int AddArc(int u, int v, double capacity);
+
+  // Computes the max flow from `source` to `sink`. May be called once per
+  // instance. Flow values below `eps` are treated as zero when searching for
+  // augmenting paths.
+  double Solve(int source, int sink, double eps = 1e-12);
+
+  // After Solve: true iff `v` is reachable from the source in the residual
+  // network, i.e., v lies on the source side of a minimum cut.
+  bool OnSourceSide(int v) const;
+
+  int num_nodes() const { return static_cast<int>(first_arc_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    int next;       // next arc id out of the same tail, -1 terminates
+    double residual;
+  };
+
+  bool BuildLevels(int source, int sink, double eps);
+  double Push(int u, int sink, double limit, double eps);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> first_arc_;
+  std::vector<int> level_;
+  std::vector<int> iter_;   // current-arc optimization
+  bool solved_ = false;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_FLOW_DINIC_H_

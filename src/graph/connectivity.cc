@@ -1,0 +1,68 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+int CountConnectedComponents(const Graph& g) {
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  return uf.NumSets();
+}
+
+int SpanningForestSize(const Graph& g) {
+  return g.NumVertices() - CountConnectedComponents(g);
+}
+
+std::vector<int> ComponentLabels(const Graph& g) {
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  std::vector<int> labels(g.NumVertices(), -1);
+  int next = 0;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    const int root = uf.Find(v);
+    if (labels[root] < 0) labels[root] = next++;
+    labels[v] = labels[root];
+  }
+  return labels;
+}
+
+std::vector<std::vector<int>> ComponentVertexSets(const Graph& g) {
+  const std::vector<int> labels = ComponentLabels(g);
+  int num = 0;
+  for (int l : labels) num = std::max(num, l + 1);
+  std::vector<std::vector<int>> sets(num);
+  for (int v = 0; v < g.NumVertices(); ++v) sets[labels[v]].push_back(v);
+  return sets;
+}
+
+bool SameComponent(const Graph& g, int u, int v) {
+  NODEDP_CHECK_LT(u, g.NumVertices());
+  NODEDP_CHECK_LT(v, g.NumVertices());
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  return uf.Connected(u, v);
+}
+
+bool IsCutVertex(const Graph& g, int v) {
+  NODEDP_CHECK_GE(v, 0);
+  NODEDP_CHECK_LT(v, g.NumVertices());
+  if (g.Degree(v) <= 1) return false;
+  // Count components among V \ {v} restricted to the neighbors' side: v is a
+  // cut vertex iff its neighbors fall into more than one component of G - v.
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) {
+    if (e.u == v || e.v == v) continue;
+    uf.Union(e.u, e.v);
+  }
+  const int root = uf.Find(g.Neighbors(v)[0]);
+  for (int nbr : g.Neighbors(v)) {
+    if (uf.Find(nbr) != root) return true;
+  }
+  return false;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,40 @@
+// Connectivity statistics: the functions f_cc and f_sf of the paper.
+//
+//   f_cc(G) = number of connected components           (the released statistic)
+//   f_sf(G) = |V(G)| - f_cc(G)                          (Eq. (1))
+//           = number of edges in any spanning forest of G.
+
+#ifndef NODEDP_GRAPH_CONNECTIVITY_H_
+#define NODEDP_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+// Number of connected components f_cc(G). Isolated vertices each count as a
+// component; the empty graph has 0 components.
+int CountConnectedComponents(const Graph& g);
+
+// Size of a spanning forest f_sf(G) = |V| - f_cc(G).
+int SpanningForestSize(const Graph& g);
+
+// Component label in [0, f_cc(G)) for each vertex; labels are assigned in
+// order of the smallest vertex in each component.
+std::vector<int> ComponentLabels(const Graph& g);
+
+// Vertex sets of the connected components, each sorted ascending, ordered by
+// smallest contained vertex.
+std::vector<std::vector<int>> ComponentVertexSets(const Graph& g);
+
+// Whether u and v are in the same component.
+bool SameComponent(const Graph& g, int u, int v);
+
+// Whether `v` is a cut vertex: removing it increases the component count of
+// its own component. Isolated vertices are not cut vertices.
+bool IsCutVertex(const Graph& g, int v);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_CONNECTIVITY_H_

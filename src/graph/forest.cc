@@ -1,0 +1,108 @@
+#include "graph/forest.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/connectivity.h"
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace nodedp {
+
+Forest::Forest(int num_vertices) : adjacency_(num_vertices) {
+  NODEDP_CHECK_GE(num_vertices, 0);
+}
+
+void Forest::AddEdge(int u, int v) {
+  NODEDP_CHECK_NE(u, v);
+  NODEDP_CHECK_MSG(!HasEdge(u, v), "edge already in forest");
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+  ++num_edges_;
+}
+
+void Forest::RemoveEdge(int u, int v) {
+  NODEDP_CHECK_MSG(HasEdge(u, v), "edge not in forest");
+  adjacency_[u].erase(v);
+  adjacency_[v].erase(u);
+  --num_edges_;
+}
+
+bool Forest::HasEdge(int u, int v) const {
+  NODEDP_DCHECK(u >= 0 && u < NumVertices());
+  NODEDP_DCHECK(v >= 0 && v < NumVertices());
+  return adjacency_[u].count(v) > 0;
+}
+
+int Forest::MaxDegree() const {
+  int best = 0;
+  for (const auto& nbrs : adjacency_) {
+    best = std::max(best, static_cast<int>(nbrs.size()));
+  }
+  return best;
+}
+
+int Forest::FindVertexWithDegreeAtLeast(int threshold) const {
+  for (int v = 0; v < NumVertices(); ++v) {
+    if (Degree(v) >= threshold) return v;
+  }
+  return -1;
+}
+
+std::vector<Edge> Forest::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (int u = 0; u < NumVertices(); ++u) {
+    for (int v : adjacency_[u]) {
+      if (u < v) edges.push_back(Edge{u, v});
+    }
+  }
+  return edges;
+}
+
+bool Forest::IsForest() const {
+  UnionFind uf(NumVertices());
+  for (const Edge& e : EdgeList()) {
+    if (!uf.Union(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+bool Forest::Connected(int u, int v) const {
+  UnionFind uf(NumVertices());
+  for (const Edge& e : EdgeList()) uf.Union(e.u, e.v);
+  return uf.Connected(u, v);
+}
+
+bool Forest::IsSpanningForestOf(const Graph& g) const {
+  if (NumVertices() != g.NumVertices()) return false;
+  if (!IsForest()) return false;
+  for (const Edge& e : EdgeList()) {
+    if (!g.HasEdge(e.u, e.v)) return false;
+  }
+  return NumEdges() == SpanningForestSize(g);
+}
+
+Forest BfsSpanningForest(const Graph& g) {
+  Forest forest(g.NumVertices());
+  std::vector<bool> visited(g.NumVertices(), false);
+  std::queue<int> queue;
+  for (int root = 0; root < g.NumVertices(); ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    queue.push(root);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int v : g.Neighbors(u)) {
+        if (visited[v]) continue;
+        visited[v] = true;
+        forest.AddEdge(u, v);
+        queue.push(v);
+      }
+    }
+  }
+  return forest;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,69 @@
+// Mutable forest on a fixed vertex set [0, n).
+//
+// Supports the edge swaps of the paper's local-repair procedure
+// (Algorithm 3): add an edge, remove an edge, query degrees, and check
+// acyclicity / spanning-forest-ness against a host graph. The structure is a
+// plain adjacency-set forest; connectivity queries rebuild a union-find,
+// which is O(n + edges) and entirely sufficient for the O(n)-step repair
+// loop.
+
+#ifndef NODEDP_GRAPH_FOREST_H_
+#define NODEDP_GRAPH_FOREST_H_
+
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+class Forest {
+ public:
+  explicit Forest(int num_vertices);
+
+  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const { return num_edges_; }
+
+  // Adds edge {u, v}. CHECKs that the edge is not already present. Does NOT
+  // check acyclicity (the repair procedure transiently relies on swaps that
+  // are proven acyclic); call IsForest() to validate.
+  void AddEdge(int u, int v);
+
+  // Removes edge {u, v}; CHECKs that it is present.
+  void RemoveEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+  int MaxDegree() const;
+
+  // Some vertex with degree >= threshold, or -1 if none.
+  int FindVertexWithDegreeAtLeast(int threshold) const;
+
+  const std::set<int>& Neighbors(int v) const { return adjacency_[v]; }
+
+  // Edge list (u < v), sorted.
+  std::vector<Edge> EdgeList() const;
+
+  // True iff the current edge set is acyclic.
+  bool IsForest() const;
+
+  // True iff u and v are connected within the forest.
+  bool Connected(int u, int v) const;
+
+  // True iff this is a spanning forest of `g`: every edge of the forest is
+  // an edge of g, the edge set is acyclic, and the forest has exactly
+  // f_sf(g) edges (equivalently: same connected components as g).
+  bool IsSpanningForestOf(const Graph& g) const;
+
+ private:
+  std::vector<std::set<int>> adjacency_;
+  int num_edges_ = 0;
+};
+
+// Builds a BFS spanning forest of g (no degree guarantees).
+Forest BfsSpanningForest(const Graph& g);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_FOREST_H_

@@ -1,0 +1,255 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nodedp {
+namespace gen {
+
+Graph Empty(int n) { return Graph(n, {}); }
+
+Graph Complete(int n) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph Path(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph(n, std::move(edges));
+}
+
+Graph Cycle(int n) {
+  NODEDP_CHECK_GE(n, 3);
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(n - 1, 0);
+  return Graph(n, std::move(edges));
+}
+
+Graph Star(int leaves) {
+  NODEDP_CHECK_GE(leaves, 0);
+  std::vector<std::pair<int, int>> edges;
+  for (int leaf = 1; leaf <= leaves; ++leaf) edges.emplace_back(0, leaf);
+  return Graph(leaves + 1, std::move(edges));
+}
+
+Graph Grid(int rows, int cols) {
+  NODEDP_CHECK_GE(rows, 0);
+  NODEDP_CHECK_GE(cols, 0);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph Caterpillar(int spine, int legs) {
+  NODEDP_CHECK_GE(spine, 1);
+  NODEDP_CHECK_GE(legs, 0);
+  std::vector<std::pair<int, int>> edges;
+  for (int s = 0; s + 1 < spine; ++s) edges.emplace_back(s, s + 1);
+  int next = spine;
+  for (int s = 0; s < spine; ++s) {
+    for (int l = 0; l < legs; ++l) edges.emplace_back(s, next++);
+  }
+  return Graph(next, std::move(edges));
+}
+
+Graph ErdosRenyi(int n, double p, Rng& rng) {
+  NODEDP_CHECK_GE(n, 0);
+  std::vector<std::pair<int, int>> edges;
+  if (p >= 1.0) return Complete(n);
+  if (p <= 0.0) return Empty(n);
+  // Geometric skipping over pairs: O(n + m) expected instead of O(n^2).
+  const double log_q = std::log(1.0 - p);
+  int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  int64_t index = -1;
+  for (;;) {
+    const double u = rng.NextDoubleOpen();
+    const double skip = std::floor(std::log(u) / log_q);
+    if (skip > static_cast<double>(total_pairs)) break;
+    index += 1 + static_cast<int64_t>(skip);
+    if (index >= total_pairs) break;
+    // Map linear pair index to (u, v), u < v, in row-major order.
+    int64_t row = 0;
+    int64_t remaining = index;
+    int64_t row_len = n - 1;
+    while (remaining >= row_len) {
+      remaining -= row_len;
+      --row_len;
+      ++row;
+    }
+    edges.emplace_back(static_cast<int>(row),
+                       static_cast<int>(row + 1 + remaining));
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph RandomGeometricWithPositions(
+    int n, double radius, Rng& rng,
+    std::vector<std::pair<double, double>>* positions) {
+  NODEDP_CHECK_GE(n, 0);
+  NODEDP_CHECK_GT(radius, 0.0);
+  std::vector<std::pair<double, double>> points(n);
+  for (auto& [x, y] : points) {
+    x = rng.NextDouble();
+    y = rng.NextDouble();
+  }
+  // Uniform grid bucketing with cell size = radius: each point only checks
+  // the 3x3 neighborhood of cells.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<int>> buckets(
+      static_cast<size_t>(cells) * cells);
+  auto bucket_of = [&](double x, double y) {
+    int cx = std::min(cells - 1, static_cast<int>(x / cell_size));
+    int cy = std::min(cells - 1, static_cast<int>(y / cell_size));
+    return cy * cells + cx;
+  };
+  for (int i = 0; i < n; ++i) {
+    buckets[bucket_of(points[i].first, points[i].second)].push_back(i);
+  }
+  const double r2 = radius * radius;
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    const int cx = std::min(cells - 1,
+                            static_cast<int>(points[i].first / cell_size));
+    const int cy = std::min(cells - 1,
+                            static_cast<int>(points[i].second / cell_size));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (int j : buckets[ny * cells + nx]) {
+          if (j <= i) continue;
+          const double ddx = points[i].first - points[j].first;
+          const double ddy = points[i].second - points[j].second;
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  if (positions != nullptr) *positions = std::move(points);
+  return Graph(n, std::move(edges));
+}
+
+Graph RandomGeometric(int n, double radius, Rng& rng) {
+  return RandomGeometricWithPositions(n, radius, rng, nullptr);
+}
+
+Graph BarabasiAlbert(int n, int edges_per_step, Rng& rng) {
+  NODEDP_CHECK_GE(edges_per_step, 1);
+  NODEDP_CHECK_GE(n, edges_per_step);
+  GraphBuilder builder(n);
+  // Seed: clique on the first edges_per_step vertices.
+  for (int u = 0; u < edges_per_step; ++u) {
+    for (int v = u + 1; v < edges_per_step; ++v) builder.AddEdge(u, v);
+  }
+  // `targets` lists every edge endpoint so far, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<int> targets;
+  for (int u = 0; u < edges_per_step; ++u) {
+    for (int v = u + 1; v < edges_per_step; ++v) {
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  if (targets.empty()) targets.push_back(0);  // edges_per_step == 1 seed
+  for (int v = edges_per_step; v < n; ++v) {
+    int added = 0;
+    int attempts = 0;
+    std::vector<int> chosen;
+    while (added < edges_per_step && attempts < 64 * edges_per_step) {
+      ++attempts;
+      const int t = targets[rng.NextUint64(targets.size())];
+      if (t != v && builder.AddEdge(v, t)) {
+        chosen.push_back(t);
+        ++added;
+      }
+    }
+    for (int t : chosen) {
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph CliqueUnion(const std::vector<int>& sizes) {
+  std::vector<std::pair<int, int>> edges;
+  int offset = 0;
+  for (int size : sizes) {
+    NODEDP_CHECK_GE(size, 1);
+    for (int u = 0; u < size; ++u) {
+      for (int v = u + 1; v < size; ++v) {
+        edges.emplace_back(offset + u, offset + v);
+      }
+    }
+    offset += size;
+  }
+  return Graph(offset, std::move(edges));
+}
+
+Graph RandomEntityGraph(int num_entities, int max_records, Rng& rng) {
+  NODEDP_CHECK_GE(num_entities, 0);
+  NODEDP_CHECK_GE(max_records, 1);
+  std::vector<int> sizes(num_entities);
+  for (int& s : sizes) {
+    s = 1 + static_cast<int>(rng.NextUint64(max_records));
+  }
+  return CliqueUnion(sizes);
+}
+
+Graph RandomTreeLike(int n, int max_degree, double extra_edge_p, Rng& rng) {
+  NODEDP_CHECK_GE(n, 1);
+  NODEDP_CHECK_GE(max_degree, 1);
+  GraphBuilder builder(n);
+  std::vector<int> tree_degree(n, 0);
+  // Vertices whose tree degree is still below max_degree.
+  std::vector<int> open = {0};
+  for (int v = 1; v < n; ++v) {
+    NODEDP_CHECK_MSG(!open.empty(),
+                     "max_degree too small to attach all vertices");
+    const size_t idx = rng.NextUint64(open.size());
+    const int parent = open[idx];
+    builder.AddEdge(v, parent);
+    if (++tree_degree[parent] >= max_degree) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    if (++tree_degree[v] < max_degree) open.push_back(v);
+    if (v >= 2 && rng.NextBernoulli(extra_edge_p)) {
+      builder.AddEdge(v, static_cast<int>(rng.NextUint64(v)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph DisjointUnion(const std::vector<Graph>& parts) {
+  int total = 0;
+  for (const Graph& part : parts) total += part.NumVertices();
+  std::vector<std::pair<int, int>> edges;
+  int offset = 0;
+  for (const Graph& part : parts) {
+    for (const Edge& e : part.Edges()) {
+      edges.emplace_back(offset + e.u, offset + e.v);
+    }
+    offset += part.NumVertices();
+  }
+  return Graph(total, std::move(edges));
+}
+
+}  // namespace gen
+}  // namespace nodedp

@@ -1,0 +1,84 @@
+// Graph generators for tests, examples, and experiment workloads.
+//
+// The random families are the ones the paper analyzes (Section 1.1.4):
+// Erdős–Rényi G(n, p) and random geometric graphs; plus families from the
+// motivating applications (entity-resolution clique unions, scale-free
+// social networks) and structured families with known Δ* used to validate
+// Theorem 1.3.
+
+#ifndef NODEDP_GRAPH_GENERATORS_H_
+#define NODEDP_GRAPH_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace gen {
+
+// n isolated vertices.
+Graph Empty(int n);
+
+// Complete graph K_n.
+Graph Complete(int n);
+
+// Path on n vertices (n - 1 edges); n = 0 allowed.
+Graph Path(int n);
+
+// Cycle on n >= 3 vertices.
+Graph Cycle(int n);
+
+// Star with `leaves` leaves: vertex 0 is the center; leaves+1 vertices.
+Graph Star(int leaves);
+
+// rows x cols grid graph.
+Graph Grid(int rows, int cols);
+
+// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+// leaves. Has a spanning tree of max degree legs + 2.
+Graph Caterpillar(int spine, int legs);
+
+// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+Graph ErdosRenyi(int n, double p, Rng& rng);
+
+// Random geometric graph: n uniform points in the unit square, edge iff
+// Euclidean distance <= radius. By the paper's Section 1.1.4 such graphs
+// contain no induced 6-star, so s(G) <= 5 and Δ* <= 6.
+Graph RandomGeometric(int n, double radius, Rng& rng);
+
+// Same, also returning the sampled positions (for example applications).
+Graph RandomGeometricWithPositions(int n, double radius, Rng& rng,
+                                   std::vector<std::pair<double, double>>*
+                                       positions);
+
+// Barabási–Albert preferential attachment: starts from a clique on
+// `edges_per_step` vertices, each new vertex attaches to `edges_per_step`
+// existing vertices sampled proportionally to degree.
+Graph BarabasiAlbert(int n, int edges_per_step, Rng& rng);
+
+// Disjoint union of cliques with the given sizes. The number of connected
+// components equals sizes.size(): the entity-resolution workload from the
+// paper's introduction (each entity = one clique of duplicate records).
+Graph CliqueUnion(const std::vector<int>& sizes);
+
+// Entity-resolution workload: `num_entities` entities, each with
+// Uniform{1..max_records} duplicate records forming a clique.
+Graph RandomEntityGraph(int num_entities, int max_records, Rng& rng);
+
+// Random spanning-forest-shaped graph with max degree <= max_degree:
+// vertices are attached one by one to a uniformly random earlier vertex
+// whose degree is still below max_degree; with probability `extra_edge_p`
+// per vertex, one extra non-tree edge is added (still respecting nothing —
+// extra edges may exceed max_degree in G, but the generating tree itself
+// witnesses Δ* <= max_degree). Produces connected graphs with small Δ*.
+Graph RandomTreeLike(int n, int max_degree, double extra_edge_p, Rng& rng);
+
+// Disjoint union of arbitrary graphs, relabeling vertices consecutively.
+Graph DisjointUnion(const std::vector<Graph>& parts);
+
+}  // namespace gen
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_GENERATORS_H_

@@ -1,0 +1,76 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+Graph::Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs)
+    : num_vertices_(num_vertices) {
+  NODEDP_CHECK_GE(num_vertices, 0);
+  edges_.reserve(edge_pairs.size());
+  for (auto& [a, b] : edge_pairs) {
+    NODEDP_CHECK_MSG(a != b, "self-loop at vertex " << a);
+    NODEDP_CHECK_GE(a, 0);
+    NODEDP_CHECK_GE(b, 0);
+    NODEDP_CHECK_LT(a, num_vertices);
+    NODEDP_CHECK_LT(b, num_vertices);
+    if (a > b) std::swap(a, b);
+    edges_.push_back(Edge{a, b});
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  adjacency_.assign(num_vertices_, {});
+  incident_edge_ids_.assign(num_vertices_, {});
+  edge_id_by_key_.reserve(edges_.size() * 2);
+  for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
+    const Edge& e = edges_[id];
+    adjacency_[e.u].push_back(e.v);
+    adjacency_[e.v].push_back(e.u);
+    incident_edge_ids_[e.u].push_back(id);
+    incident_edge_ids_[e.v].push_back(id);
+    edge_id_by_key_.emplace(EdgeKey(e.u, e.v), id);
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+int Graph::MaxDegree() const {
+  int best = 0;
+  for (const auto& nbrs : adjacency_) {
+    best = std::max(best, static_cast<int>(nbrs.size()));
+  }
+  return best;
+}
+
+bool Graph::HasEdge(int u, int v) const { return EdgeId(u, v) >= 0; }
+
+int Graph::EdgeId(int u, int v) const {
+  if (u == v) return -1;
+  if (u > v) std::swap(u, v);
+  if (u < 0 || v >= num_vertices_) return -1;
+  const auto it = edge_id_by_key_.find(EdgeKey(u, v));
+  return (it == edge_id_by_key_.end()) ? -1 : it->second;
+}
+
+bool GraphBuilder::AddEdge(int u, int v) {
+  NODEDP_CHECK_GE(u, 0);
+  NODEDP_CHECK_GE(v, 0);
+  NODEDP_CHECK_LT(u, num_vertices_);
+  NODEDP_CHECK_LT(v, num_vertices_);
+  if (u == v) return false;
+  auto [it, inserted] = seen_.emplace(Key(u, v), true);
+  (void)it;
+  if (!inserted) return false;
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+int GraphBuilder::AddVertex() { return num_vertices_++; }
+
+Graph GraphBuilder::Build() && {
+  return Graph(num_vertices_, std::move(edges_));
+}
+
+}  // namespace nodedp

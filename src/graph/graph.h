@@ -1,0 +1,118 @@
+// Core immutable undirected graph type.
+//
+// Graphs in this library are simple (no self-loops, no parallel edges),
+// undirected, and unweighted, matching the database model of the paper
+// (Section 1.1): vertices are individuals, edges are relationships.
+//
+// A Graph is immutable after construction. Use GraphBuilder for incremental
+// construction, or the factory functions in graph/generators.h. Vertices are
+// dense integers [0, NumVertices()). Edges are normalized with u < v and
+// stored both as an edge list (the LP variables of Definition 3.1 are indexed
+// by this list) and as sorted adjacency lists.
+
+#ifndef NODEDP_GRAPH_GRAPH_H_
+#define NODEDP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace nodedp {
+
+// A normalized undirected edge with endpoints u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return (a.u != b.u) ? a.u < b.u : a.v < b.v;
+  }
+};
+
+class Graph {
+ public:
+  // Empty graph with zero vertices.
+  Graph() = default;
+
+  // Builds a graph on `num_vertices` vertices from an edge list. Endpoints
+  // are normalized (u < v); duplicate edges are collapsed; self-loops are
+  // rejected with a CHECK. Endpoints must be in [0, num_vertices).
+  Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  int NumVertices() const { return num_vertices_; }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  // Edge list in sorted normalized order. Index into this list is the
+  // canonical edge id used by the forest-polytope LP.
+  const std::vector<Edge>& Edges() const { return edges_; }
+  const Edge& EdgeAt(int edge_id) const { return edges_[edge_id]; }
+
+  // Sorted neighbor list of `v`.
+  const std::vector<int>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  // Largest vertex degree; 0 for edgeless graphs.
+  int MaxDegree() const;
+
+  bool HasEdge(int u, int v) const;
+
+  // Id of edge {u, v} in Edges(), or -1 if absent.
+  int EdgeId(int u, int v) const;
+
+  // Ids of the edges incident to `v` (the set δ(v) of Definition 3.1).
+  const std::vector<int>& IncidentEdgeIds(int v) const {
+    return incident_edge_ids_[v];
+  }
+
+ private:
+  static uint64_t EdgeKey(int u, int v) {
+    return (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+  }
+
+  int num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> incident_edge_ids_;
+  std::unordered_map<uint64_t, int> edge_id_by_key_;
+};
+
+// Incremental construction helper. Ignores duplicate edges.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int num_vertices) : num_vertices_(num_vertices) {}
+
+  // Adds an undirected edge; returns false if it was already present or is a
+  // self-loop (self-loops are rejected, not CHECKed, so randomized
+  // generators can call this unconditionally).
+  bool AddEdge(int u, int v);
+
+  // Appends a fresh isolated vertex and returns its id.
+  int AddVertex();
+
+  int num_vertices() const { return num_vertices_; }
+
+  Graph Build() &&;
+
+ private:
+  static uint64_t Key(int u, int v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+  }
+
+  int num_vertices_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::unordered_map<uint64_t, bool> seen_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_GRAPH_H_

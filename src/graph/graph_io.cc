@@ -1,0 +1,104 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/stringutil.h"
+
+namespace nodedp {
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << g.NumVertices() << ' ' << g.NumEdges() << '\n';
+  for (const Edge& e : g.Edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+namespace {
+
+bool ParseInt(std::string_view token, long long* value) {
+  if (token.empty()) return false;
+  long long result = 0;
+  size_t i = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    i = 1;
+    if (token.size() == 1) return false;
+  }
+  for (; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    result = result * 10 + (token[i] - '0');
+    if (result > (1LL << 40)) return false;  // reject absurd sizes early
+  }
+  *value = negative ? -result : result;
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(std::istream& in) {
+  std::string line;
+  long long num_vertices = -1;
+  long long num_edges = -1;
+  std::vector<std::pair<int, int>> edges;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto tokens = SplitAndTrim(stripped, " \t");
+    if (tokens.size() != 2) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": expected two integers");
+    }
+    long long a = 0;
+    long long b = 0;
+    if (!ParseInt(tokens[0], &a) || !ParseInt(tokens[1], &b)) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": malformed integer");
+    }
+    if (num_vertices < 0) {
+      if (a < 0 || b < 0) {
+        return Status::IoError("header: negative counts");
+      }
+      num_vertices = a;
+      num_edges = b;
+      edges.reserve(static_cast<size_t>(b));
+      continue;
+    }
+    if (a < 0 || b < 0 || a >= num_vertices || b >= num_vertices) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": endpoint out of range");
+    }
+    if (a == b) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": self-loop");
+    }
+    edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
+  }
+  if (num_vertices < 0) return Status::IoError("missing header line");
+  if (static_cast<long long>(edges.size()) != num_edges) {
+    return Status::IoError("edge count mismatch: header says " +
+                           std::to_string(num_edges) + ", found " +
+                           std::to_string(edges.size()));
+  }
+  return Graph(static_cast<int>(num_vertices), std::move(edges));
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WriteEdgeList(g, out);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadEdgeList(in);
+}
+
+}  // namespace nodedp

@@ -1,0 +1,34 @@
+// Plain-text edge-list serialization.
+//
+// Format:
+//   # comment lines start with '#'
+//   <num_vertices> <num_edges>
+//   <u> <v>          (one line per edge)
+//
+// Reading tolerates duplicate edges (collapsed) but rejects self-loops and
+// out-of-range endpoints with a non-OK Status.
+
+#ifndef NODEDP_GRAPH_GRAPH_IO_H_
+#define NODEDP_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace nodedp {
+
+// Writes g to `out` in edge-list format.
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+// Parses a graph from `in`.
+Result<Graph> ReadEdgeList(std::istream& in);
+
+// File convenience wrappers.
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+Result<Graph> ReadEdgeListFile(const std::string& path);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,215 @@
+#include "graph/star.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+// Fixed-capacity dynamic bitset over k = number of neighborhood vertices.
+class DynBitset {
+ public:
+  explicit DynBitset(int bits) : words_((bits + 63) / 64, 0), bits_(bits) {}
+
+  void Set(int i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Test(int i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+  void Clear(int i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  int Popcount() const {
+    int total = 0;
+    for (uint64_t w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  // this &= ~other
+  void AndNot(const DynBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  int CountAnd(const DynBitset& other) const {
+    int total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total += __builtin_popcountll(words_[i] & other.words_[i]);
+    }
+    return total;
+  }
+
+  int FirstSet() const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i]) {
+        return static_cast<int>(i * 64 + __builtin_ctzll(words_[i]));
+      }
+    }
+    return -1;
+  }
+
+  int bits() const { return bits_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  int bits_;
+};
+
+struct MisSearch {
+  const std::vector<DynBitset>* adjacency;
+  int best = 0;
+  int64_t work_remaining = 0;
+  bool exhausted = false;
+
+  void Run(DynBitset candidates, int current) {
+    if (work_remaining-- <= 0) {
+      exhausted = true;
+      return;
+    }
+    if (current + candidates.Popcount() <= best) return;  // bound
+    if (!candidates.Any()) {
+      best = std::max(best, current);
+      return;
+    }
+    // Pick the candidate with the most candidate-neighbors: including it
+    // shrinks the problem fastest; if it has none, it is free to include.
+    int pick = -1;
+    int pick_degree = -1;
+    for (int i = candidates.FirstSet(); i >= 0 && i < candidates.bits();
+         ++i) {
+      if (!candidates.Test(i)) continue;
+      const int deg = (*adjacency)[i].CountAnd(candidates);
+      if (deg > pick_degree) {
+        pick_degree = deg;
+        pick = i;
+      }
+    }
+    // Include `pick`.
+    DynBitset with = candidates;
+    with.Clear(pick);
+    with.AndNot((*adjacency)[pick]);
+    Run(std::move(with), current + 1);
+    if (exhausted) return;
+    // Exclude `pick` — only a distinct subproblem if it had neighbors.
+    if (pick_degree > 0) {
+      DynBitset without = candidates;
+      without.Clear(pick);
+      Run(std::move(without), current);
+    }
+  }
+};
+
+// Maximum independent set inside g[N(center)], with budget accounting.
+StarNumberResult StarAtCenter(const Graph& g, int center,
+                              int64_t& work_budget) {
+  const std::vector<int>& nbrs = g.Neighbors(center);
+  const int k = static_cast<int>(nbrs.size());
+  StarNumberResult result;
+  result.center = center;
+  if (k == 0) {
+    result.value = 0;
+    return result;
+  }
+  // Local adjacency among the neighbors.
+  std::vector<DynBitset> local(k, DynBitset(k));
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (g.HasEdge(nbrs[i], nbrs[j])) {
+        local[i].Set(j);
+        local[j].Set(i);
+      }
+    }
+  }
+  DynBitset all(k);
+  for (int i = 0; i < k; ++i) all.Set(i);
+
+  MisSearch search;
+  search.adjacency = &local;
+  search.best = GreedyInducedStarAt(g, center);  // warm start
+  search.work_remaining = work_budget;
+  search.Run(std::move(all), 0);
+  work_budget = std::max<int64_t>(0, search.work_remaining);
+  result.value = search.best;
+  result.exact = !search.exhausted;
+  return result;
+}
+
+}  // namespace
+
+int GreedyInducedStarAt(const Graph& g, int v) {
+  const std::vector<int>& nbrs = g.Neighbors(v);
+  // Repeatedly take the neighbor with the fewest remaining
+  // neighbor-neighbors, then discard its adjacent candidates.
+  std::vector<int> candidates = nbrs;
+  int count = 0;
+  while (!candidates.empty()) {
+    int best_idx = 0;
+    int best_deg = g.NumVertices() + 1;
+    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+      int deg = 0;
+      for (int other : candidates) {
+        if (other != candidates[i] && g.HasEdge(candidates[i], other)) ++deg;
+      }
+      if (deg < best_deg) {
+        best_deg = deg;
+        best_idx = i;
+      }
+    }
+    const int chosen = candidates[best_idx];
+    ++count;
+    std::vector<int> next;
+    for (int other : candidates) {
+      if (other != chosen && !g.HasEdge(chosen, other)) next.push_back(other);
+    }
+    candidates = std::move(next);
+  }
+  return count;
+}
+
+StarNumberResult InducedStarNumberAt(const Graph& g, int v,
+                                     const StarNumberOptions& options) {
+  NODEDP_CHECK_GE(v, 0);
+  NODEDP_CHECK_LT(v, g.NumVertices());
+  int64_t budget = options.work_limit;
+  return StarAtCenter(g, v, budget);
+}
+
+StarNumberResult InducedStarNumber(const Graph& g,
+                                   const StarNumberOptions& options) {
+  StarNumberResult best;
+  best.value = 0;
+  best.exact = true;
+  best.center = -1;
+  int64_t budget = options.work_limit;
+
+  // Process centers in decreasing degree order: high-degree centers give the
+  // best chance of a large star, improving the bound used for pruning later
+  // centers (any center with Degree(v) <= best.value cannot improve).
+  std::vector<int> order(g.NumVertices());
+  for (int v = 0; v < g.NumVertices(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&g](int a, int b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+
+  for (int v : order) {
+    if (g.Degree(v) <= best.value) break;  // sorted: nothing better remains
+    StarNumberResult at = StarAtCenter(g, v, budget);
+    if (at.value > best.value) {
+      best.value = at.value;
+      best.center = v;
+    }
+    best.exact = best.exact && at.exact;
+    if (budget <= 0) {
+      best.exact = false;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace nodedp

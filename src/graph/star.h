@@ -1,0 +1,47 @@
+// Induced star number s(G): the largest k such that G contains an induced
+// k-star (a center adjacent to k pairwise-non-adjacent leaves).
+//
+// By Lemma 1.7, s(G) equals the down-sensitivity DS_fsf(G) of the
+// spanning-forest size, and by Lemma 1.6 it bounds the minimum max-degree
+// spanning forest: Δ* <= s(G) + 1. Computing s(G) reduces, per center v, to
+// a maximum independent set in the subgraph induced by N(v); we solve that
+// with a bitset branch-and-bound with a popcount bound, plus a greedy lower
+// bound fallback under a work limit (MIS is NP-hard; neighborhoods of
+// real-world-scale hubs can be large).
+
+#ifndef NODEDP_GRAPH_STAR_H_
+#define NODEDP_GRAPH_STAR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+
+struct StarNumberOptions {
+  // Budget on branch-and-bound node expansions, across all centers. When
+  // exhausted the search keeps the best bound found so far and marks the
+  // result inexact (it is still a valid lower bound on s(G)).
+  int64_t work_limit = 50'000'000;
+};
+
+struct StarNumberResult {
+  int value = 0;   // s(G), or a lower bound when !exact
+  bool exact = true;
+  int center = -1;  // a center achieving `value`; -1 for edgeless graphs
+};
+
+// s(G) over all centers. Edgeless graphs have s(G) = 0.
+StarNumberResult InducedStarNumber(const Graph& g,
+                                   const StarNumberOptions& options = {});
+
+// Largest induced star centered at `v` (maximum independent set in G[N(v)]).
+StarNumberResult InducedStarNumberAt(const Graph& g, int v,
+                                     const StarNumberOptions& options = {});
+
+// Greedy (min-degree) independent-set lower bound for the star at center v.
+int GreedyInducedStarAt(const Graph& g, int v);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_STAR_H_

@@ -1,0 +1,66 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+InducedSubgraph Induce(const Graph& g, std::vector<int> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  NODEDP_CHECK_MSG(
+      std::adjacent_find(vertices.begin(), vertices.end()) == vertices.end(),
+      "duplicate vertex in induced subgraph");
+  std::vector<int> new_id(g.NumVertices(), -1);
+  for (int i = 0; i < static_cast<int>(vertices.size()); ++i) {
+    const int v = vertices[i];
+    NODEDP_CHECK_GE(v, 0);
+    NODEDP_CHECK_LT(v, g.NumVertices());
+    new_id[v] = i;
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (const Edge& e : g.Edges()) {
+    if (new_id[e.u] >= 0 && new_id[e.v] >= 0) {
+      edges.emplace_back(new_id[e.u], new_id[e.v]);
+    }
+  }
+  InducedSubgraph result;
+  result.graph = Graph(static_cast<int>(vertices.size()), std::move(edges));
+  result.original_vertex = std::move(vertices);
+  return result;
+}
+
+Graph RemoveVertex(const Graph& g, int v) {
+  NODEDP_CHECK_GE(v, 0);
+  NODEDP_CHECK_LT(v, g.NumVertices());
+  std::vector<int> keep;
+  keep.reserve(g.NumVertices() - 1);
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    if (u != v) keep.push_back(u);
+  }
+  return Induce(g, std::move(keep)).graph;
+}
+
+Graph AddVertex(const Graph& g, const std::vector<int>& neighbors) {
+  const int new_vertex = g.NumVertices();
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(g.NumEdges() + neighbors.size());
+  for (const Edge& e : g.Edges()) edges.emplace_back(e.u, e.v);
+  for (int nbr : neighbors) {
+    NODEDP_CHECK_GE(nbr, 0);
+    NODEDP_CHECK_LT(nbr, new_vertex);
+    edges.emplace_back(nbr, new_vertex);
+  }
+  return Graph(new_vertex + 1, std::move(edges));
+}
+
+InducedSubgraph InduceByMask(const Graph& g, uint64_t mask) {
+  NODEDP_CHECK_LE(g.NumVertices(), 63);
+  std::vector<int> vertices;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    if ((mask >> v) & 1ULL) vertices.push_back(v);
+  }
+  return Induce(g, std::move(vertices));
+}
+
+}  // namespace nodedp

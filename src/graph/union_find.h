@@ -1,0 +1,60 @@
+// Disjoint-set forest with union by size and path halving.
+//
+// Used for connected-component counting, spanning-forest extraction, and
+// cycle detection in forest manipulation.
+
+#ifndef NODEDP_GRAPH_UNION_FIND_H_
+#define NODEDP_GRAPH_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), size_(n, 1), num_sets_(n) {
+    NODEDP_CHECK_GE(n, 0);
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    NODEDP_DCHECK(x >= 0 && x < static_cast<int>(parent_.size()));
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Merges the sets containing a and b; returns false if already merged.
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  // Size of the set containing x.
+  int SetSize(int x) { return size_[Find(x)]; }
+
+  // Number of disjoint sets remaining.
+  int NumSets() const { return num_sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_GRAPH_UNION_FIND_H_

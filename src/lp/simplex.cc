@@ -1,0 +1,270 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Dense tableau with an explicit objective row, supporting both phases.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, double tolerance)
+      : tol_(tolerance),
+        num_vars_(problem.num_vars()),
+        num_rows_(problem.num_constraints()) {
+    // Column layout: [structural | slack/surplus | artificial | rhs].
+    slack_begin_ = num_vars_;
+    artificial_begin_ = slack_begin_ + num_rows_;
+    // Count artificials: one per negative-rhs row.
+    num_artificials_ = 0;
+    for (int i = 0; i < num_rows_; ++i) {
+      if (problem.rhs(i) < 0.0) ++num_artificials_;
+    }
+    num_cols_ = artificial_begin_ + num_artificials_;  // excluding rhs
+    rows_.assign(num_rows_, std::vector<double>(num_cols_ + 1, 0.0));
+    obj_.assign(num_cols_ + 1, 0.0);
+    basis_.resize(num_rows_);
+    active_.assign(num_rows_, true);
+    row_negated_.assign(num_rows_, false);
+
+    int next_artificial = artificial_begin_;
+    for (int i = 0; i < num_rows_; ++i) {
+      const bool negate = problem.rhs(i) < 0.0;
+      row_negated_[i] = negate;
+      const double sign = negate ? -1.0 : 1.0;
+      for (const auto& [var, coeff] : problem.row(i)) {
+        rows_[i][var] += sign * coeff;  // duplicates sum
+      }
+      rows_[i][slack_begin_ + i] = sign;  // slack (+1) or surplus (-1)
+      rows_[i][num_cols_] = sign * problem.rhs(i);
+      if (negate) {
+        rows_[i][next_artificial] = 1.0;
+        basis_[i] = next_artificial;
+        ++next_artificial;
+      } else {
+        basis_[i] = slack_begin_ + i;
+      }
+    }
+  }
+
+  int num_artificials() const { return num_artificials_; }
+
+  // Phase-I objective: maximize -sum(artificials). Returns priced-out row.
+  void LoadPhaseOneObjective() {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    // Row entries are (z_j - c_j); artificial cost is -1 so c_j = -1 there.
+    for (int j = artificial_begin_; j < num_cols_; ++j) obj_[j] = 1.0;
+    PriceOutBasis();
+  }
+
+  void LoadPhaseTwoObjective(const std::vector<double>& c) {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    for (int j = 0; j < num_vars_; ++j) obj_[j] = -c[j];
+    PriceOutBasis();
+  }
+
+  // Runs simplex pivots until optimality, unboundedness, or the iteration
+  // budget is exhausted. `allow_artificial_entering` is false in Phase II.
+  LpStatus Pivot(long long max_iterations, int stall_threshold,
+                 bool allow_artificial_entering, long long* iterations) {
+    int stall = 0;
+    double last_objective = Objective();
+    while (*iterations < max_iterations) {
+      const bool bland = stall >= stall_threshold;
+      const int entering = ChooseEntering(allow_artificial_entering, bland);
+      if (entering < 0) return LpStatus::kOptimal;
+      const int leaving_row = ChooseLeavingRow(entering, bland);
+      if (leaving_row < 0) return LpStatus::kUnbounded;
+      DoPivot(leaving_row, entering);
+      ++*iterations;
+      const double objective = Objective();
+      if (objective > last_objective + tol_) {
+        stall = 0;
+        last_objective = objective;
+      } else {
+        ++stall;
+      }
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  // Current objective value (for the loaded objective row).
+  double Objective() const { return obj_[num_cols_]; }
+
+  // Pivots artificial variables out of the basis where possible; rows where
+  // no structural/slack pivot exists are redundant and get deactivated.
+  void DriveOutArtificials(long long* iterations) {
+    for (int i = 0; i < num_rows_; ++i) {
+      if (!active_[i] || basis_[i] < artificial_begin_) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < artificial_begin_; ++j) {
+        if (std::fabs(rows_[i][j]) > tol_) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        DoPivot(i, pivot_col);
+        ++*iterations;
+      } else {
+        active_[i] = false;  // redundant row (all-zero constraints)
+      }
+    }
+  }
+
+  void ExtractSolution(LpSolution* solution) const {
+    solution->x.assign(num_vars_, 0.0);
+    for (int i = 0; i < num_rows_; ++i) {
+      if (active_[i] && basis_[i] < num_vars_) {
+        solution->x[basis_[i]] = rows_[i][num_cols_];
+      }
+    }
+    solution->duals.assign(num_rows_, 0.0);
+    for (int i = 0; i < num_rows_; ++i) {
+      const double reduced = obj_[slack_begin_ + i];
+      solution->duals[i] = row_negated_[i] ? -reduced : reduced;
+    }
+  }
+
+ private:
+  void PriceOutBasis() {
+    for (int i = 0; i < num_rows_; ++i) {
+      if (!active_[i]) continue;
+      const double factor = obj_[basis_[i]];
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= num_cols_; ++j) obj_[j] -= factor * rows_[i][j];
+    }
+  }
+
+  int ChooseEntering(bool allow_artificial, bool bland) const {
+    const int limit = allow_artificial ? num_cols_ : artificial_begin_;
+    int best = -1;
+    double best_value = -tol_;
+    for (int j = 0; j < limit; ++j) {
+      if (obj_[j] < best_value) {
+        best = j;
+        best_value = obj_[j];
+        if (bland) break;  // first (lowest-index) negative column
+      }
+    }
+    return best;
+  }
+
+  int ChooseLeavingRow(int entering, bool bland) const {
+    int best = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < num_rows_; ++i) {
+      if (!active_[i]) continue;
+      const double a = rows_[i][entering];
+      if (a <= tol_) continue;
+      const double ratio = rows_[i][num_cols_] / a;
+      const bool better =
+          ratio < best_ratio - tol_ ||
+          (ratio < best_ratio + tol_ && best >= 0 &&
+           (bland ? basis_[i] < basis_[best] : false));
+      if (best < 0 ? ratio < best_ratio : better) {
+        best = i;
+        best_ratio = ratio;
+      }
+    }
+    return best;
+  }
+
+  void DoPivot(int pivot_row, int pivot_col) {
+    std::vector<double>& prow = rows_[pivot_row];
+    const double pivot = prow[pivot_col];
+    NODEDP_DCHECK(std::fabs(pivot) > tol_);
+    const double inv = 1.0 / pivot;
+    for (double& value : prow) value *= inv;
+    prow[pivot_col] = 1.0;  // cancel rounding
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == pivot_row || !active_[i]) continue;
+      const double factor = rows_[i][pivot_col];
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= num_cols_; ++j) rows_[i][j] -= factor * prow[j];
+      rows_[i][pivot_col] = 0.0;
+    }
+    const double ofactor = obj_[pivot_col];
+    if (ofactor != 0.0) {
+      for (int j = 0; j <= num_cols_; ++j) obj_[j] -= ofactor * prow[j];
+      obj_[pivot_col] = 0.0;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  double tol_;
+  int num_vars_;
+  int num_rows_;
+  int num_cols_;
+  int slack_begin_;
+  int artificial_begin_;
+  int num_artificials_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+  std::vector<bool> active_;
+  std::vector<bool> row_negated_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options) {
+  LpSolution solution;
+  Tableau tableau(problem, options.tolerance);
+
+  const long long max_iterations =
+      options.max_iterations > 0
+          ? options.max_iterations
+          : 50LL * (problem.num_constraints() + problem.num_vars() + 1) +
+                5000;
+
+  if (tableau.num_artificials() > 0) {
+    tableau.LoadPhaseOneObjective();
+    const LpStatus phase1 =
+        tableau.Pivot(max_iterations, options.stall_threshold,
+                      /*allow_artificial_entering=*/true,
+                      &solution.iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      solution.status = LpStatus::kIterationLimit;
+      return solution;
+    }
+    // Phase-I optimum is -sum(artificials); feasible iff it reaches ~0.
+    if (tableau.Objective() < -1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    tableau.DriveOutArtificials(&solution.iterations);
+  }
+
+  tableau.LoadPhaseTwoObjective(problem.objective());
+  const LpStatus phase2 =
+      tableau.Pivot(max_iterations, options.stall_threshold,
+                    /*allow_artificial_entering=*/false,
+                    &solution.iterations);
+  solution.status = phase2;
+  if (phase2 != LpStatus::kOptimal) return solution;
+  solution.objective = tableau.Objective();
+  tableau.ExtractSolution(&solution);
+  return solution;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,57 @@
+// Dense two-phase primal simplex.
+//
+// Solves max c·x s.t. Ax <= b, x >= 0 (b of arbitrary sign; Phase I with
+// artificial variables establishes feasibility when some b_i < 0).
+//
+// This is the practical stand-in for the ellipsoid method the paper invokes
+// for polynomial-time solvability of the forest-polytope LP; the
+// cutting-plane driver in core/forest_polytope.h calls it repeatedly as the
+// separation oracle adds subtour constraints.
+//
+// Pivoting: Dantzig rule (most negative reduced cost) with an automatic
+// switch to Bland's rule after a stall, which guarantees termination on
+// degenerate instances. All comparisons use the tolerance in
+// SimplexOptions.
+
+#ifndef NODEDP_LP_SIMPLEX_H_
+#define NODEDP_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/lp_problem.h"
+
+namespace nodedp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  // Hard cap on total pivots (both phases). 0 means automatic:
+  // 50 * (rows + cols) + 5000.
+  long long max_iterations = 0;
+  // Pivots without objective improvement before switching to Bland's rule.
+  int stall_threshold = 64;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;      // primal values, size num_vars (when optimal)
+  std::vector<double> duals;  // dual value per constraint (when optimal)
+  long long iterations = 0;
+};
+
+// Solves `problem`. Deterministic: same input, same pivots, same output.
+LpSolution SolveLp(const LpProblem& problem,
+                   const SimplexOptions& options = {});
+
+}  // namespace nodedp
+
+#endif  // NODEDP_LP_SIMPLEX_H_

@@ -1,0 +1,78 @@
+// Lightweight CHECK/DCHECK macros in the style used by RocksDB/Arrow-like
+// database codebases. CHECK failures indicate programmer errors (violated
+// preconditions or internal invariants) and abort the process with a message;
+// they are not a substitute for recoverable error handling (see status.h).
+
+#ifndef NODEDP_UTIL_CHECK_H_
+#define NODEDP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nodedp {
+namespace internal_check {
+
+// Aborts the process after printing `file:line: condition` and an optional
+// user-supplied message. Marked noinline/cold to keep CHECK call sites cheap.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-style message collector so call sites can write
+// `CHECK(x) << "context " << value;`-like messages via CHECK_MSG.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace nodedp
+
+#define NODEDP_CHECK(condition)                                          \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::nodedp::internal_check::CheckFail(__FILE__, __LINE__,            \
+                                          #condition, std::string());    \
+    }                                                                    \
+  } while (0)
+
+#define NODEDP_CHECK_MSG(condition, ...)                                 \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::nodedp::internal_check::MessageBuilder nodedp_mb;                \
+      nodedp_mb << __VA_ARGS__;                                          \
+      ::nodedp::internal_check::CheckFail(__FILE__, __LINE__,            \
+                                          #condition, nodedp_mb.str());  \
+    }                                                                    \
+  } while (0)
+
+#define NODEDP_CHECK_EQ(a, b) NODEDP_CHECK_MSG((a) == (b), #a " vs " #b)
+#define NODEDP_CHECK_NE(a, b) NODEDP_CHECK_MSG((a) != (b), #a " vs " #b)
+#define NODEDP_CHECK_LT(a, b) NODEDP_CHECK_MSG((a) < (b), #a " vs " #b)
+#define NODEDP_CHECK_LE(a, b) NODEDP_CHECK_MSG((a) <= (b), #a " vs " #b)
+#define NODEDP_CHECK_GT(a, b) NODEDP_CHECK_MSG((a) > (b), #a " vs " #b)
+#define NODEDP_CHECK_GE(a, b) NODEDP_CHECK_MSG((a) >= (b), #a " vs " #b)
+
+#ifdef NDEBUG
+#define NODEDP_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#else
+#define NODEDP_DCHECK(condition) NODEDP_CHECK(condition)
+#endif
+
+#endif  // NODEDP_UTIL_CHECK_H_

@@ -1,0 +1,91 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+inline uint64_t SplitMix64Next(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64Next(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  NODEDP_CHECK_GT(bound, 0u);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` representable in 64 bits.
+  const uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  // (r >> 11) is in [0, 2^53); adding 0.5 keeps the value strictly positive
+  // and strictly below 2^53, so the result is in (0, 1).
+  return (static_cast<double>(NextUint64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextLaplace(double b) {
+  NODEDP_CHECK_GT(b, 0.0);
+  // Inverse CDF on a symmetric open uniform: u in (-1/2, 1/2).
+  const double u = NextDoubleOpen() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Rng::NextExponential(double lambda) {
+  NODEDP_CHECK_GT(lambda, 0.0);
+  return -std::log(NextDoubleOpen()) / lambda;
+}
+
+double Rng::NextGumbel() { return -std::log(-std::log(NextDoubleOpen())); }
+
+double Rng::NextGaussian() {
+  const double u1 = NextDoubleOpen();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace nodedp

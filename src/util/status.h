@@ -1,0 +1,129 @@
+// Status / Result<T>: recoverable-error handling in the RocksDB/Arrow idiom.
+// Functions that can fail for reasons outside the programmer's control
+// (I/O, parsing, resource limits) return Status or Result<T> instead of
+// throwing. Pure computations use CHECK for precondition violations.
+
+#ifndef NODEDP_UTIL_STATUS_H_
+#define NODEDP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kResourceExhausted,  // iteration / work limits hit
+  kInternal,
+};
+
+// A cheap value type describing success or a categorized error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk:
+        name = "OK";
+        break;
+      case StatusCode::kInvalidArgument:
+        name = "InvalidArgument";
+        break;
+      case StatusCode::kNotFound:
+        name = "NotFound";
+        break;
+      case StatusCode::kIoError:
+        name = "IoError";
+        break;
+      case StatusCode::kResourceExhausted:
+        name = "ResourceExhausted";
+        break;
+      case StatusCode::kInternal:
+        name = "Internal";
+        break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a T or a non-OK Status. Access to the value CHECKs that
+// the result is OK, so misuse fails loudly rather than reading garbage.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    NODEDP_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                     "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& {
+    NODEDP_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    NODEDP_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    NODEDP_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(std::move(payload_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_UTIL_STATUS_H_

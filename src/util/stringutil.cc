@@ -1,0 +1,35 @@
+#include "util/stringutil.h"
+
+#include <cstdio>
+
+namespace nodedp {
+
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           std::string_view delims) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find_first_of(delims, start);
+    const size_t stop = (end == std::string_view::npos) ? text.size() : end;
+    if (stop > start) pieces.push_back(text.substr(start, stop - start));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  const char* ws = " \t\r\n";
+  const size_t begin = text.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  const size_t end = text.find_last_not_of(ws);
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+}  // namespace nodedp

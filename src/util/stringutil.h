@@ -1,0 +1,24 @@
+// Small string helpers shared by graph I/O and the experiment harness.
+
+#ifndef NODEDP_UTIL_STRINGUTIL_H_
+#define NODEDP_UTIL_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nodedp {
+
+// Splits `text` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           std::string_view delims);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_UTIL_STRINGUTIL_H_

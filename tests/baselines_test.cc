@@ -1,0 +1,95 @@
+// Tests for the comparison baselines.
+
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/stats.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(BaselinesTest, EdgeDpIsSharp) {
+  Rng rng(21);
+  const Graph g = gen::CliqueUnion({3, 3, 3, 3});
+  const double truth = CountConnectedComponents(g);
+  std::vector<double> errors;
+  for (int t = 0; t < 2000; ++t) {
+    errors.push_back(EdgeDpConnectedComponents(g, 1.0, rng) - truth);
+  }
+  const ErrorSummary summary = SummarizeErrors(errors);
+  EXPECT_NEAR(summary.mean_abs, 1.0, 0.15);  // E|Lap(1/1)| = 1
+  EXPECT_NEAR(summary.mean, 0.0, 0.2);
+}
+
+TEST(BaselinesTest, NaiveNodeDpScalesWithN) {
+  Rng rng(22);
+  const Graph g = gen::Empty(200);
+  const double truth = 200.0;
+  std::vector<double> errors;
+  for (int t = 0; t < 2000; ++t) {
+    errors.push_back(NaiveNodeDpConnectedComponents(g, 1.0, rng) - truth);
+  }
+  // E|Lap((n-1)/eps)| = 199: unusable, which is the point.
+  EXPECT_NEAR(SummarizeErrors(errors).mean_abs, 199.0, 25.0);
+}
+
+TEST(BaselinesTest, FixedDeltaMatchesTruthOnAnchoredGraphs) {
+  // Path with Δ = 2: f_2 = f_sf, so the only error is Laplace noise with
+  // scale 2/(ε/2) + 1/(ε/2).
+  Rng rng(23);
+  const Graph g = gen::Path(50);
+  const double truth = CountConnectedComponents(g);
+  std::vector<double> errors;
+  for (int t = 0; t < 500; ++t) {
+    const Result<double> estimate =
+        FixedDeltaNodeDpConnectedComponents(g, 2, 2.0, rng);
+    ASSERT_TRUE(estimate.ok());
+    errors.push_back(*estimate - truth);
+  }
+  // E|err| <= E|Lap(1)| + E|Lap(2)| = 3.
+  EXPECT_LT(SummarizeErrors(errors).mean_abs, 4.5);
+}
+
+TEST(BaselinesTest, FixedDeltaUnderestimatesWhenDeltaTooSmall) {
+  // Star with 30 leaves at Δ = 1: f_1 = 1 but f_sf = 30, so the cc estimate
+  // is biased upward by ~29.
+  Rng rng(24);
+  const Graph g = gen::Star(30);
+  std::vector<double> estimates;
+  for (int t = 0; t < 400; ++t) {
+    estimates.push_back(
+        FixedDeltaNodeDpConnectedComponents(g, 1, 2.0, rng).value());
+  }
+  const double mean =
+      SummarizeErrors(estimates).mean;  // signed mean of estimates
+  // Truth is 1; the biased release is near 31 - 1 = 30.
+  EXPECT_GT(mean, 20.0);
+}
+
+TEST(BaselinesTest, DeterministicGivenSeed) {
+  Rng a(25);
+  Rng b(25);
+  const Graph g = gen::Path(10);
+  EXPECT_EQ(EdgeDpConnectedComponents(g, 1.0, a),
+            EdgeDpConnectedComponents(g, 1.0, b));
+  EXPECT_EQ(NaiveNodeDpConnectedComponents(g, 1.0, a),
+            NaiveNodeDpConnectedComponents(g, 1.0, b));
+}
+
+TEST(BaselinesTest, SingleVertexGraphs) {
+  Rng rng(26);
+  const Graph g = gen::Empty(1);
+  // Sensitivity floor of 1 for the naive baseline (n-1 = 0 would be wrong
+  // because inserting a vertex changes f_cc by 1).
+  const double estimate = NaiveNodeDpConnectedComponents(g, 1000.0, rng);
+  EXPECT_NEAR(estimate, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,94 @@
+// Tests for f_cc, f_sf, component labeling, and cut-vertex detection.
+
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(ConnectivityTest, EmptyGraph) {
+  EXPECT_EQ(CountConnectedComponents(Graph()), 0);
+  EXPECT_EQ(SpanningForestSize(Graph()), 0);
+}
+
+TEST(ConnectivityTest, IsolatedVertices) {
+  const Graph g = gen::Empty(4);
+  EXPECT_EQ(CountConnectedComponents(g), 4);
+  EXPECT_EQ(SpanningForestSize(g), 0);
+}
+
+TEST(ConnectivityTest, PathIsConnected) {
+  const Graph g = gen::Path(9);
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+  EXPECT_EQ(SpanningForestSize(g), 8);
+}
+
+TEST(ConnectivityTest, EquationOneIdentity) {
+  // f_cc + f_sf = |V| always (Eq. (1)).
+  Rng rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::ErdosRenyi(30, 0.05, rng);
+    EXPECT_EQ(CountConnectedComponents(g) + SpanningForestSize(g),
+              g.NumVertices());
+  }
+}
+
+TEST(ConnectivityTest, CliqueUnionCounts) {
+  const Graph g = gen::CliqueUnion({3, 1, 5, 2});
+  EXPECT_EQ(CountConnectedComponents(g), 4);
+  EXPECT_EQ(SpanningForestSize(g), 11 - 4);
+}
+
+TEST(ConnectivityTest, ComponentLabelsPartition) {
+  const Graph g = gen::DisjointUnion({gen::Path(3), gen::Complete(4),
+                                      gen::Empty(2)});
+  const std::vector<int> labels = ComponentLabels(g);
+  ASSERT_EQ(static_cast<int>(labels.size()), 9);
+  // Path vertices 0..2 share a label, clique 3..6 share another, isolated
+  // vertices 7, 8 each have their own.
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[6]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[7], labels[8]);
+  EXPECT_EQ(CountConnectedComponents(g), 4);
+}
+
+TEST(ConnectivityTest, ComponentVertexSetsSortedAndComplete) {
+  const Graph g = gen::DisjointUnion({gen::Path(3), gen::Path(2)});
+  const auto sets = ComponentVertexSets(g);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sets[1], (std::vector<int>{3, 4}));
+}
+
+TEST(ConnectivityTest, SameComponent) {
+  const Graph g = gen::DisjointUnion({gen::Path(3), gen::Path(3)});
+  EXPECT_TRUE(SameComponent(g, 0, 2));
+  EXPECT_FALSE(SameComponent(g, 0, 3));
+}
+
+TEST(ConnectivityTest, CutVertexDetection) {
+  // Path: interior vertices are cut vertices, endpoints are not.
+  const Graph path = gen::Path(5);
+  EXPECT_FALSE(IsCutVertex(path, 0));
+  EXPECT_TRUE(IsCutVertex(path, 1));
+  EXPECT_TRUE(IsCutVertex(path, 2));
+  EXPECT_FALSE(IsCutVertex(path, 4));
+  // Cycle: no cut vertices.
+  const Graph cycle = gen::Cycle(6);
+  for (int v = 0; v < 6; ++v) EXPECT_FALSE(IsCutVertex(cycle, v));
+  // Star center is a cut vertex, leaves are not.
+  const Graph star = gen::Star(4);
+  EXPECT_TRUE(IsCutVertex(star, 0));
+  for (int leaf = 1; leaf <= 4; ++leaf) EXPECT_FALSE(IsCutVertex(star, leaf));
+  // Isolated vertex is not a cut vertex.
+  EXPECT_FALSE(IsCutVertex(gen::Empty(3), 1));
+}
+
+}  // namespace
+}  // namespace nodedp

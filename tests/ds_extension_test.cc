@@ -1,0 +1,144 @@
+// Tests for the down-sensitivity-based extension of Lemma A.1 and the
+// anchor-set optimality results (Lemma 1.9, Lemma A.3).
+
+#include "core/ds_extension.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/down_sensitivity.h"
+#include "core/lipschitz_extension.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+double FsfStatistic(const Graph& g) { return SpanningForestSize(g); }
+
+TEST(DsExtensionTest, EqualsStatisticOnAnchorSet) {
+  // Lemma A.1: DS_f(G) <= Δ  =>  f̂_Δ(G) = f(G).
+  Rng rng(210);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.3, rng);
+    const double ds = DownSensitivityBruteForce(g, FsfStatistic);
+    const double fsf = SpanningForestSize(g);
+    EXPECT_NEAR(DownSensitivityExtension(g, ds, FsfStatistic), fsf, kTol);
+    EXPECT_NEAR(DownSensitivityExtension(g, ds + 2.0, FsfStatistic), fsf,
+                kTol);
+  }
+}
+
+TEST(DsExtensionTest, UnderestimatesOnAnchoredGraphs) {
+  // Lemma A.1 claims f̂_Δ <= f everywhere; the one-line proof implicitly
+  // assumes G itself is feasible in the min, which requires DS_f(G) <= Δ.
+  // We verify underestimation in that (provable) regime; see the
+  // counterexample test below for the unanchored regime.
+  Rng rng(211);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.35, rng);
+    const double ds = DownSensitivityBruteForce(g, FsfStatistic);
+    for (double delta : {ds, ds + 1.0}) {
+      EXPECT_LE(DownSensitivityExtension(g, delta, FsfStatistic),
+                SpanningForestSize(g) + kTol);
+    }
+  }
+}
+
+TEST(DsExtensionTest, PaperLemmaA1PropertiesCanFailBelowDownSensitivity) {
+  // DEVIATION NOTE (documented in DESIGN.md): for Δ < DS_f(G), the literal
+  // Lemma A.1 formula can overshoot f(G) and can decrease as Δ grows. This
+  // deterministic 7-vertex Erdős–Rényi instance (the third draw at seed
+  // 211) exhibits both: f_sf(G) = 6 yet f̂_2(G) = 7 > 6, while
+  // f̂_3(G) = 6 < f̂_2(G). The main-text results (Lemma 1.9, Lemma A.3) are
+  // unaffected — they only use anchored graphs — and are tested elsewhere.
+  Rng rng(211);
+  Graph counterexample;
+  bool found = false;
+  for (int trial = 0; trial < 25 && !found; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.35, rng);
+    const double v2 = DownSensitivityExtension(g, 2.0, FsfStatistic);
+    if (v2 > SpanningForestSize(g) + kTol) {
+      counterexample = g;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const double fsf = SpanningForestSize(counterexample);
+  const double v2 = DownSensitivityExtension(counterexample, 2.0,
+                                             FsfStatistic);
+  const double v3 = DownSensitivityExtension(counterexample, 3.0,
+                                             FsfStatistic);
+  EXPECT_GT(v2, fsf + kTol);                // not an underestimate
+  EXPECT_LT(v3, v2 - kTol);                 // not monotone in Δ
+  EXPECT_GT(DownSensitivityBruteForce(counterexample, FsfStatistic), 2.0);
+}
+
+TEST(DsExtensionTest, LipschitzOnNodeNeighbors) {
+  Rng rng(213);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.3, rng);
+    std::vector<int> neighbors;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (rng.NextBernoulli(0.5)) neighbors.push_back(v);
+    }
+    const Graph g_prime = AddVertex(g, neighbors);
+    for (double delta : {1.0, 2.0}) {
+      const double lo = DownSensitivityExtension(g, delta, FsfStatistic);
+      const double hi = DownSensitivityExtension(g_prime, delta,
+                                                 FsfStatistic);
+      EXPECT_GE(hi, lo - kTol);
+      EXPECT_LE(hi - lo, delta + kTol);
+    }
+  }
+}
+
+TEST(DsExtensionTest, StarValues) {
+  // Star with k leaves: DS = k. For Δ < k the best anchored subgraph
+  // trades leaves for Δ-per-vertex credit.
+  const Graph g = gen::Star(4);
+  EXPECT_NEAR(DownSensitivityExtension(g, 4.0, FsfStatistic), 4.0, kTol);
+  // Δ=1: anchored subgraphs have DS <= 1 (no induced 2-star). Candidates:
+  // remove 3 leaves -> f=1, d=3 => 1+3 = 4; remove center -> f=0, d=1 => 1.
+  EXPECT_NEAR(DownSensitivityExtension(g, 1.0, FsfStatistic), 1.0, kTol);
+}
+
+TEST(DsExtensionTest, Lemma19AnchorSetInclusion) {
+  // Lemma 1.9: DS_fsf(G) <= Δ - 1  =>  f_Δ(G) = f_sf(G) for the paper's
+  // polytope extension. Cross-validated with brute-force DS.
+  Rng rng(214);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::ErdosRenyi(8, 0.3, rng);
+    const double ds = DownSensitivityBruteForce(g, FsfStatistic);
+    const double delta = ds + 1.0;
+    const double extension = LipschitzExtensionValue(g, delta);
+    EXPECT_NEAR(extension, SpanningForestSize(g), kTol)
+        << "trial=" << trial << " ds=" << ds;
+  }
+}
+
+TEST(DsExtensionTest, PolytopeExtensionDominatesDsExtensionOnAnchors) {
+  // Both extensions are underestimates of f_sf and both equal f_sf on
+  // their anchor sets; verify consistency on random inputs: whenever the
+  // DS-extension is exact at Δ, the polytope extension is exact at Δ+1.
+  Rng rng(215);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.35, rng);
+    const double fsf = SpanningForestSize(g);
+    for (double delta : {1.0, 2.0, 3.0}) {
+      const double ds_ext = DownSensitivityExtension(g, delta, FsfStatistic);
+      if (std::fabs(ds_ext - fsf) < kTol) {
+        EXPECT_NEAR(LipschitzExtensionValue(g, delta + 1.0), fsf, kTol);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,78 @@
+// Tests for the experiment-harness helpers (stats, table printing).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "eval/stats.h"
+#include "eval/table.h"
+
+namespace nodedp {
+namespace {
+
+TEST(StatsTest, SummaryOnKnownSample) {
+  const std::vector<double> errors = {-2.0, -1.0, 0.0, 1.0, 2.0};
+  const ErrorSummary s = SummarizeErrors(errors);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_NEAR(s.mean, 0.0, 1e-12);
+  EXPECT_NEAR(s.mean_abs, 1.2, 1e-12);
+  EXPECT_NEAR(s.median_abs, 1.0, 1e-12);
+  EXPECT_NEAR(s.max_abs, 2.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, EmptySample) {
+  const ErrorSummary s = SummarizeErrors({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean_abs, 0.0);
+}
+
+TEST(StatsTest, QuantileNearestRank) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_EQ(Quantile(values, 0.9), 5.0);
+  EXPECT_EQ(Quantile(values, 1.0), 5.0);
+}
+
+TEST(StatsTest, SingleElement) {
+  EXPECT_EQ(Quantile({7.0}, 0.5), 7.0);
+  const ErrorSummary s = SummarizeErrors({-3.0});
+  EXPECT_EQ(s.median_abs, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(TableTest, AlignedOutput) {
+  Table table({"n", "error"});
+  table.Cell(10).Cell(1.5, 2);
+  table.EndRow();
+  table.Cell(1000).Cell(0.25, 2);
+  table.EndRow();
+  std::stringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.Cell(1).Cell("x");
+  table.EndRow();
+  std::stringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,x\n");
+}
+
+TEST(TableDeathTest, RowArityEnforced) {
+  Table table({"a", "b"});
+  table.Cell(1);
+  EXPECT_DEATH(table.EndRow(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,82 @@
+// Tests for the exponential mechanism (Gumbel-max implementation).
+
+#include "dp/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(ExponentialTest, ProbabilitiesNormalizeAndOrder) {
+  const std::vector<double> scores = {0.0, 1.0, 5.0};
+  const auto probabilities =
+      ExponentialMechanismProbabilities(scores, 1.0, 2.0);
+  double total = 0.0;
+  for (double p : probabilities) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Lower score => higher probability.
+  EXPECT_GT(probabilities[0], probabilities[1]);
+  EXPECT_GT(probabilities[1], probabilities[2]);
+  // Exact ratio: p0/p1 = exp(eps*(s1-s0)/(2*sens)) = e^1.
+  EXPECT_NEAR(probabilities[0] / probabilities[1], std::exp(1.0), 1e-9);
+}
+
+TEST(ExponentialTest, ExtremeScoresAreNumericallyStable) {
+  const std::vector<double> scores = {1e6, 1e6 + 1.0, 2e6};
+  const auto probabilities =
+      ExponentialMechanismProbabilities(scores, 1.0, 1.0);
+  EXPECT_FALSE(std::isnan(probabilities[0]));
+  EXPECT_NEAR(probabilities[0] / probabilities[1], std::exp(0.5), 1e-9);
+  EXPECT_NEAR(probabilities[2], 0.0, 1e-12);
+}
+
+TEST(ExponentialTest, SamplingMatchesAnalyticDistribution) {
+  Rng rng(2024);
+  const std::vector<double> scores = {0.0, 0.5, 1.0, 3.0};
+  const double sensitivity = 1.0;
+  const double epsilon = 2.0;
+  const auto expected =
+      ExponentialMechanismProbabilities(scores, sensitivity, epsilon);
+  const int trials = 200000;
+  std::vector<int> counts(scores.size(), 0);
+  for (int t = 0; t < trials; ++t) {
+    ++counts[ExponentialMechanismMin(scores, sensitivity, epsilon, rng)];
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, expected[i], 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(ExponentialTest, HigherEpsilonConcentratesOnMinimum) {
+  Rng rng(2025);
+  const std::vector<double> scores = {0.0, 1.0};
+  int low_eps_best = 0;
+  int high_eps_best = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    if (ExponentialMechanismMin(scores, 1.0, 0.1, rng) == 0) ++low_eps_best;
+    if (ExponentialMechanismMin(scores, 1.0, 10.0, rng) == 0) ++high_eps_best;
+  }
+  EXPECT_GT(high_eps_best, low_eps_best);
+  EXPECT_GT(static_cast<double>(high_eps_best) / trials, 0.98);
+  EXPECT_LT(static_cast<double>(low_eps_best) / trials, 0.60);
+}
+
+TEST(ExponentialTest, SingleCandidateAlwaysSelected) {
+  Rng rng(3);
+  EXPECT_EQ(ExponentialMechanismMin({7.0}, 1.0, 1.0, rng), 0);
+}
+
+TEST(ExponentialDeathTest, EmptyScoresRejected) {
+  Rng rng(1);
+  EXPECT_DEATH(ExponentialMechanismMin({}, 1.0, 1.0, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,131 @@
+// Tests for ExtensionFamily: every amortization must be value-preserving,
+// and the caches must actually engage.
+
+#include "core/extension_family.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lipschitz_extension.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(ExtensionFamilyTest, MatchesOneShotEvaluator) {
+  Rng rng(1200);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::ErdosRenyi(16, 0.2, rng);
+    ExtensionFamily family(g);
+    for (double delta : {1.0, 2.0, 3.0, 5.0, 8.0, 16.0}) {
+      ASSERT_TRUE(family.Value(delta).ok());
+      EXPECT_NEAR(family.Value(delta).value(),
+                  LipschitzExtensionValue(g, delta), kTol)
+          << "trial=" << trial << " delta=" << delta;
+    }
+  }
+}
+
+TEST(ExtensionFamilyTest, CacheHitsOnRepeatedQueries) {
+  const Graph g = gen::Grid(5, 5);
+  ExtensionFamily family(g);
+  ASSERT_TRUE(family.Value(2.0).ok());
+  const auto before = family.stats();
+  ASSERT_TRUE(family.Value(2.0).ok());
+  const auto after = family.stats();
+  EXPECT_EQ(after.lp_evaluations, before.lp_evaluations);
+  EXPECT_GT(after.cache_hits + after.watermark_hits,
+            before.cache_hits + before.watermark_hits);
+}
+
+TEST(ExtensionFamilyTest, WatermarkPropagatesUpward) {
+  // Once f_Δ0 = f_sf is certified, larger Δ must not pay for LP or
+  // certificates again.
+  const Graph g = gen::Path(30);
+  ExtensionFamily family(g);
+  ASSERT_TRUE(family.Value(2.0).ok());  // certificate at Δ = 2
+  const auto before = family.stats();
+  ASSERT_TRUE(family.Value(4.0).ok());
+  ASSERT_TRUE(family.Value(16.0).ok());
+  const auto after = family.stats();
+  EXPECT_EQ(after.lp_evaluations, before.lp_evaluations);
+  EXPECT_EQ(after.fast_certificates, before.fast_certificates);
+  EXPECT_EQ(after.watermark_hits, before.watermark_hits + 2);
+}
+
+TEST(ExtensionFamilyTest, DescendingQueriesStillCorrect) {
+  // Querying large Δ first then small must give the same answers (the
+  // watermark must not contaminate smaller Δ).
+  Rng rng(1201);
+  const Graph g = gen::ErdosRenyi(14, 0.3, rng);
+  ExtensionFamily descending(g);
+  ExtensionFamily ascending(g);
+  const std::vector<double> deltas = {1.0, 2.0, 4.0, 8.0};
+  std::vector<double> down;
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    down.push_back(descending.Value(*it).value());
+  }
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_NEAR(ascending.Value(deltas[i]).value(),
+                down[deltas.size() - 1 - i], kTol);
+  }
+}
+
+TEST(ExtensionFamilyTest, CutPoolSharedAcrossDeltas) {
+  // Pooled subtour cuts from one Δ pre-tighten the LP at the next Δ:
+  // evaluating Δ = 6 after Δ = 8 must take no more cutting-plane rounds
+  // than evaluating Δ = 6 from scratch — and the values must agree.
+  ExtensionOptions no_fast;
+  no_fast.use_repair_fast_path = false;
+  no_fast.polytope.use_support_heuristic = false;
+  no_fast.polytope.seed_structural_cuts = false;
+  const Graph g = gen::Complete(9);
+
+  ExtensionFamily warm(g, no_fast);
+  ASSERT_TRUE(warm.Value(8.0).ok());
+  const int rounds_before = warm.stats().cut_rounds;
+  const double warm_value = warm.Value(6.0).value();
+  const int rounds_warm = warm.stats().cut_rounds - rounds_before;
+
+  ExtensionFamily cold(g, no_fast);
+  const double cold_value = cold.Value(6.0).value();
+  const int rounds_cold = cold.stats().cut_rounds;
+
+  EXPECT_NEAR(warm_value, cold_value, kTol);
+  EXPECT_LE(rounds_warm, rounds_cold);
+  EXPECT_GT(warm.stats().cuts_added, 0);  // the pool is actually exercised
+}
+
+TEST(ExtensionFamilyTest, SpanningForestSizeValue) {
+  const Graph g = gen::DisjointUnion({gen::Path(5), gen::Empty(3)});
+  ExtensionFamily family(g);
+  EXPECT_EQ(family.SpanningForestSizeValue(), SpanningForestSize(g));
+  EXPECT_EQ(family.num_vertices(), 8);
+}
+
+TEST(ExtensionFamilyTest, InvalidDeltaRejected) {
+  ExtensionFamily family(gen::Path(4));
+  EXPECT_FALSE(family.Value(0.5).ok());
+}
+
+TEST(ExtensionFamilyTest, NoDecompositionOptionStillCorrect) {
+  Rng rng(1202);
+  const Graph g = gen::DisjointUnion(
+      {gen::ErdosRenyi(8, 0.4, rng), gen::Complete(5)});
+  ExtensionOptions whole;
+  whole.decompose_components = false;
+  ExtensionFamily one_piece(g, whole);
+  ExtensionFamily decomposed(g);
+  for (double delta : {1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(one_piece.Value(delta).value(),
+                decomposed.Value(delta).value(), kTol);
+  }
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,211 @@
+// Tests for the Lipschitz extension f_Δ (Definition 3.1 / Lemma 3.3):
+// exact values on structured graphs, cross-validation of the cutting-plane
+// evaluator against the exhaustive-constraint LP, and the paper's claimed
+// properties (underestimation, monotonicity in Δ, anchor sets,
+// Δ-Lipschitzness, additivity over components, Remark 3.4 tightness).
+
+#include "core/lipschitz_extension.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/forest_polytope.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+double Eval(const Graph& g, double delta, bool fast_path = true) {
+  ExtensionOptions options;
+  options.use_repair_fast_path = fast_path;
+  return LipschitzExtensionValue(g, delta, options);
+}
+
+TEST(ExtensionTest, EmptyAndEdgelessGraphs) {
+  EXPECT_NEAR(Eval(Graph(), 1.0), 0.0, kTol);
+  EXPECT_NEAR(Eval(gen::Empty(7), 1.0), 0.0, kTol);
+  EXPECT_NEAR(Eval(gen::Empty(7), 5.0), 0.0, kTol);
+}
+
+TEST(ExtensionTest, SingleEdge) {
+  Graph g(2, {{0, 1}});
+  EXPECT_NEAR(Eval(g, 1.0), 1.0, kTol);
+  EXPECT_NEAR(Eval(g, 2.0), 1.0, kTol);
+}
+
+TEST(ExtensionTest, PathHasSpanning2Forest) {
+  const Graph g = gen::Path(10);
+  // Anchor set: f_Δ = f_sf = 9 for all Δ >= 2.
+  for (double delta : {2.0, 3.0, 8.0}) {
+    EXPECT_NEAR(Eval(g, delta), 9.0, kTol) << "delta=" << delta;
+  }
+}
+
+TEST(ExtensionTest, PathAtDeltaOneIsFractionalMatchingValue) {
+  // Path v0-v1-...-v4 with Δ=1: LP relaxation of max matching with subtour
+  // constraints. For P5 (4 edges) the optimum is 2 (take edges 0-1, 2-3).
+  const Graph g = gen::Path(5);
+  EXPECT_NEAR(Eval(g, 1.0, /*fast_path=*/false), 2.0, kTol);
+}
+
+TEST(ExtensionTest, TriangleAtDeltaOneIsFractional) {
+  // K3 with Δ=1: x_e = 1/2 each gives 1.5; subtour caps x(E) <= 2 and
+  // degrees cap each vertex at 1. Optimum is exactly 1.5 — witnesses that
+  // the Δ-bounded forest polytope is not integral.
+  const Graph g = gen::Complete(3);
+  EXPECT_NEAR(Eval(g, 1.0), 1.5, kTol);
+}
+
+TEST(ExtensionTest, CompleteGraphFullDelta) {
+  // K5 has a spanning star: f_Δ = f_sf = 4 for Δ >= 4; for Δ = 1 the
+  // fractional matching value 5/2 = 2.5 (odd clique).
+  const Graph g = gen::Complete(5);
+  EXPECT_NEAR(Eval(g, 4.0), 4.0, kTol);
+  EXPECT_NEAR(Eval(g, 1.0), 2.5, kTol);
+}
+
+TEST(ExtensionTest, StarExactValues) {
+  // Star with k leaves: f_Δ = min(Δ, k) — degree constraint at the center
+  // binds; this is the Remark 3.4 family.
+  const Graph g = gen::Star(6);
+  for (int delta = 1; delta <= 7; ++delta) {
+    EXPECT_NEAR(Eval(g, delta), std::min(delta, 6), kTol) << delta;
+  }
+}
+
+TEST(ExtensionTest, Remark34TightLipschitzConstant) {
+  // G = Δ isolated vertices, G' = G plus an apex adjacent to everything.
+  // f_Δ(G) = 0 and f_Δ(G') = Δ: the Lipschitz constant Δ is attained.
+  for (int delta : {1, 2, 4, 8}) {
+    const Graph g = gen::Empty(delta);
+    std::vector<int> all;
+    for (int v = 0; v < delta; ++v) all.push_back(v);
+    const Graph g_prime = AddVertex(g, all);
+    EXPECT_NEAR(Eval(g, delta), 0.0, kTol);
+    EXPECT_NEAR(Eval(g_prime, delta), delta, kTol);
+  }
+}
+
+TEST(ExtensionTest, MatchesExhaustiveLpOnSmallGraphs) {
+  Rng rng(20230413);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.NextUint64(5));  // 4..8
+    const double p = 0.15 + 0.1 * static_cast<double>(rng.NextUint64(6));
+    const Graph g = gen::ErdosRenyi(n, p, rng);
+    for (double delta : {1.0, 2.0, 3.0}) {
+      const ForestPolytopeResult exhaustive =
+          MaximizeOverForestPolytopeExhaustive(g, delta);
+      ASSERT_EQ(exhaustive.status, LpStatus::kOptimal);
+      EXPECT_NEAR(Eval(g, delta, /*fast_path=*/false), exhaustive.value, kTol)
+          << "n=" << n << " p=" << p << " delta=" << delta
+          << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ExtensionTest, FastPathAgreesWithLp) {
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.25, rng);
+    for (double delta : {1.0, 2.0, 4.0, 8.0}) {
+      EXPECT_NEAR(Eval(g, delta, /*fast_path=*/true),
+                  Eval(g, delta, /*fast_path=*/false), kTol)
+          << "trial=" << trial << " delta=" << delta;
+    }
+  }
+}
+
+TEST(ExtensionTest, UnderestimatesSpanningForestSize) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(14, 0.2, rng);
+    const double f_sf = SpanningForestSize(g);
+    for (double delta : {1.0, 2.0, 4.0, 16.0}) {
+      EXPECT_LE(Eval(g, delta), f_sf + kTol);
+    }
+  }
+}
+
+TEST(ExtensionTest, MonotoneInDelta) {
+  Rng rng(456);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.3, rng);
+    double previous = -1.0;
+    for (double delta : {1.0, 2.0, 3.0, 4.0, 6.0, 11.0}) {
+      const double value = Eval(g, delta);
+      EXPECT_GE(value, previous - kTol) << "delta=" << delta;
+      previous = value;
+    }
+  }
+}
+
+TEST(ExtensionTest, AnchorSetContainsBoundedDegreeForests) {
+  // Lemma 3.3 Item 1: a spanning Δ-forest forces f_Δ = f_sf.
+  const Graph grid = gen::Grid(4, 5);
+  EXPECT_NEAR(Eval(grid, 4.0), SpanningForestSize(grid), kTol);
+  const Graph caterpillar = gen::Caterpillar(6, 3);
+  EXPECT_NEAR(Eval(caterpillar, 5.0), SpanningForestSize(caterpillar), kTol);
+}
+
+TEST(ExtensionTest, LipschitzOnRandomNodeNeighbors) {
+  // |f_Δ(G') - f_Δ(G)| <= Δ where G' = G + one vertex with arbitrary edges.
+  Rng rng(789);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = gen::ErdosRenyi(10, 0.3, rng);
+    std::vector<int> neighbors;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (rng.NextBernoulli(0.5)) neighbors.push_back(v);
+    }
+    const Graph g_prime = AddVertex(g, neighbors);
+    for (double delta : {1.0, 2.0, 4.0}) {
+      const double lo = Eval(g, delta);
+      const double hi = Eval(g_prime, delta);
+      EXPECT_GE(hi, lo - kTol);           // monotone under node insertion
+      EXPECT_LE(hi - lo, delta + kTol);   // Δ-Lipschitz
+    }
+  }
+}
+
+TEST(ExtensionTest, AdditiveOverComponents) {
+  Rng rng(1001);
+  const Graph a = gen::ErdosRenyi(8, 0.4, rng);
+  const Graph b = gen::Path(6);
+  const Graph c = gen::Complete(4);
+  const Graph whole = gen::DisjointUnion({a, b, c});
+  for (double delta : {1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(Eval(whole, delta),
+                Eval(a, delta) + Eval(b, delta) + Eval(c, delta), kTol);
+  }
+}
+
+TEST(ExtensionTest, RejectsDeltaBelowOne) {
+  const Graph g = gen::Path(4);
+  Result<ExtensionValue> result = EvalLipschitzExtension(g, 0.5);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExtensionTest, ReportsFastPathUsage) {
+  const Graph g = gen::Path(20);
+  Result<ExtensionValue> with_fast = EvalLipschitzExtension(g, 2.0);
+  ASSERT_TRUE(with_fast.ok());
+  EXPECT_EQ(with_fast->components_fast, 1);
+  EXPECT_EQ(with_fast->components_lp, 0);
+
+  ExtensionOptions no_fast;
+  no_fast.use_repair_fast_path = false;
+  Result<ExtensionValue> with_lp = EvalLipschitzExtension(g, 2.0, no_fast);
+  ASSERT_TRUE(with_lp.ok());
+  EXPECT_EQ(with_lp->components_lp, 1);
+  EXPECT_NEAR(with_lp->value, with_fast->value, kTol);
+}
+
+}  // namespace
+}  // namespace nodedp

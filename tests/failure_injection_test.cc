@@ -1,0 +1,100 @@
+// Failure injection: resource caps and invalid inputs must surface as
+// non-OK Status at every pipeline layer — never as wrong values.
+
+#include <gtest/gtest.h>
+
+#include "core/extension_family.h"
+#include "core/lipschitz_extension.h"
+#include "core/private_cc.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+ExtensionOptions Strangled() {
+  // Options under which any nontrivial LP must fail: a single cutting-plane
+  // round with a one-pivot simplex budget, no shortcuts.
+  ExtensionOptions options;
+  options.use_repair_fast_path = false;
+  options.polytope.use_support_heuristic = false;
+  options.polytope.max_cut_rounds = 1;
+  options.polytope.max_cuts_per_round = 1;
+  options.polytope.simplex.max_iterations = 1;
+  return options;
+}
+
+TEST(FailureInjectionTest, ExtensionEvaluatorPropagatesLpExhaustion) {
+  const Graph g = gen::Complete(8);
+  const Result<ExtensionValue> value =
+      EvalLipschitzExtension(g, 2.0, Strangled());
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, FamilyPropagatesLpExhaustion) {
+  ExtensionFamily family(gen::Complete(8), Strangled());
+  const Result<double> value = family.Value(2.0);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, Algorithm1PropagatesLpExhaustion) {
+  Rng rng(1);
+  PrivateCcOptions options;
+  options.extension = Strangled();
+  const auto release =
+      PrivateSpanningForestSize(gen::Complete(8), 1.0, rng, options);
+  ASSERT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, CcReleasePropagatesLpExhaustion) {
+  Rng rng(2);
+  PrivateCcOptions options;
+  options.extension = Strangled();
+  const auto release =
+      PrivateConnectedComponents(gen::Complete(8), 1.0, rng, options);
+  ASSERT_FALSE(release.ok());
+}
+
+TEST(FailureInjectionTest, EdgelessGraphsNeverTouchTheLp) {
+  // Strangled caps must not matter when there is nothing to solve.
+  Rng rng(3);
+  PrivateCcOptions options;
+  options.extension = Strangled();
+  const auto release =
+      PrivateConnectedComponents(gen::Empty(30), 1.0, rng, options);
+  ASSERT_TRUE(release.ok());
+}
+
+TEST(FailureInjectionTest, FastPathRescuesStrangledLpWhereApplicable) {
+  // With the certificate enabled, anchored Δ never reach the LP, so the
+  // release succeeds even under hostile LP caps — for every Δ in the grid
+  // that admits a spanning forest certificate. K8 has Δ* = 2, so only
+  // Δ = 1 needs the LP; delta_max = 8 grid = {1,2,4,8}. Restrict the grid
+  // to start at 2 via delta_max... the grid always starts at 1, so instead
+  // use a path (Δ* = 2) where Δ=1's LP is trivial (converges in one round:
+  // matching LP needs no subtour cuts on trees... it does converge with the
+  // seed constraints only).
+  Rng rng(4);
+  PrivateCcOptions options;
+  options.extension = Strangled();
+  options.extension.use_repair_fast_path = true;
+  options.extension.polytope.max_cut_rounds = 2;
+  options.extension.polytope.simplex.max_iterations = 10000;
+  const auto release =
+      PrivateSpanningForestSize(gen::Path(24), 1.0, rng, options);
+  EXPECT_TRUE(release.ok());
+}
+
+TEST(FailureInjectionTest, ResultMessagesNameTheFailure) {
+  ExtensionFamily family(gen::Complete(8), Strangled());
+  const Result<double> value = family.Value(2.0);
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("did not converge"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nodedp

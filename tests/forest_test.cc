@@ -1,0 +1,107 @@
+// Tests for the mutable Forest structure and BFS spanning forests.
+
+#include "graph/forest.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(ForestTest, AddRemoveEdges) {
+  Forest f(5);
+  f.AddEdge(0, 1);
+  f.AddEdge(1, 2);
+  EXPECT_TRUE(f.HasEdge(0, 1));
+  EXPECT_TRUE(f.HasEdge(2, 1));
+  EXPECT_EQ(f.NumEdges(), 2);
+  EXPECT_EQ(f.Degree(1), 2);
+  f.RemoveEdge(1, 0);
+  EXPECT_FALSE(f.HasEdge(0, 1));
+  EXPECT_EQ(f.NumEdges(), 1);
+  EXPECT_EQ(f.Degree(1), 1);
+}
+
+TEST(ForestTest, MaxDegreeAndSearch) {
+  Forest f(6);
+  f.AddEdge(0, 1);
+  f.AddEdge(0, 2);
+  f.AddEdge(0, 3);
+  EXPECT_EQ(f.MaxDegree(), 3);
+  EXPECT_EQ(f.FindVertexWithDegreeAtLeast(3), 0);
+  EXPECT_EQ(f.FindVertexWithDegreeAtLeast(4), -1);
+}
+
+TEST(ForestTest, IsForestDetectsCycles) {
+  Forest f(4);
+  f.AddEdge(0, 1);
+  f.AddEdge(1, 2);
+  EXPECT_TRUE(f.IsForest());
+  f.AddEdge(2, 0);
+  EXPECT_FALSE(f.IsForest());
+}
+
+TEST(ForestTest, ConnectedQueries) {
+  Forest f(5);
+  f.AddEdge(0, 1);
+  f.AddEdge(3, 4);
+  EXPECT_TRUE(f.Connected(0, 1));
+  EXPECT_FALSE(f.Connected(1, 3));
+  EXPECT_TRUE(f.Connected(2, 2));
+}
+
+TEST(ForestTest, EdgeListNormalized) {
+  Forest f(4);
+  f.AddEdge(3, 1);
+  f.AddEdge(2, 0);
+  const auto edges = f.EdgeList();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_LT(edges[0].u, edges[0].v);
+  EXPECT_LT(edges[1].u, edges[1].v);
+}
+
+TEST(ForestTest, IsSpanningForestOfValidation) {
+  const Graph g = gen::Path(4);
+  Forest good(4);
+  good.AddEdge(0, 1);
+  good.AddEdge(1, 2);
+  good.AddEdge(2, 3);
+  EXPECT_TRUE(good.IsSpanningForestOf(g));
+
+  Forest too_few(4);
+  too_few.AddEdge(0, 1);
+  EXPECT_FALSE(too_few.IsSpanningForestOf(g));
+
+  Forest not_subgraph(4);
+  not_subgraph.AddEdge(0, 1);
+  not_subgraph.AddEdge(1, 2);
+  not_subgraph.AddEdge(0, 3);  // not an edge of the path
+  EXPECT_FALSE(not_subgraph.IsSpanningForestOf(g));
+}
+
+TEST(ForestTest, BfsSpanningForestIsSpanning) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(25, 0.08, rng);
+    const Forest forest = BfsSpanningForest(g);
+    EXPECT_TRUE(forest.IsSpanningForestOf(g));
+    EXPECT_EQ(forest.NumEdges(), SpanningForestSize(g));
+  }
+}
+
+TEST(ForestDeathTest, DoubleAddFails) {
+  Forest f(3);
+  f.AddEdge(0, 1);
+  EXPECT_DEATH(f.AddEdge(1, 0), "already in forest");
+}
+
+TEST(ForestDeathTest, RemoveMissingFails) {
+  Forest f(3);
+  EXPECT_DEATH(f.RemoveEdge(0, 1), "not in forest");
+}
+
+}  // namespace
+}  // namespace nodedp

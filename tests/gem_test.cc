@@ -1,0 +1,132 @@
+// Tests for the Generalized Exponential Mechanism (Algorithm 4).
+
+#include "dp/gem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(GemTest, PowersOfTwoGrid) {
+  EXPECT_EQ(PowersOfTwoGrid(1), (std::vector<int>{1}));
+  EXPECT_EQ(PowersOfTwoGrid(2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(PowersOfTwoGrid(9), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(PowersOfTwoGrid(16), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(PowersOfTwoGrid(1000),
+            (std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
+}
+
+TEST(GemTest, ScoresHaveZeroMinimum) {
+  // s_i = max_j ((q_i + t i) - (q_j + t j))/(i + j); the argmin of
+  // q_i + t·i has score... >= 0 always? s_i >= (own - own)/(2i) = 0, and the
+  // minimizer's score is exactly 0 only if it dominates all j; in general
+  // min_i s_i >= 0 with equality for the shifted-q minimizer.
+  std::vector<GemCandidate> candidates = {
+      {1.0, 10.0}, {2.0, 4.0}, {4.0, 6.0}, {8.0, 9.0}};
+  Rng rng(1);
+  const GemResult result = GemSelect(candidates, 1.0, 0.1, rng);
+  double min_score = 1e18;
+  for (double s : result.scores) min_score = std::min(min_score, s);
+  EXPECT_GE(min_score, 0.0);
+  // The best shifted candidate has score 0.
+  int best = 0;
+  double best_value = 1e18;
+  for (int i = 0; i < 4; ++i) {
+    const double v = candidates[i].q + result.shift_t *
+                                           candidates[i].lipschitz;
+    if (v < best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  EXPECT_NEAR(result.scores[best], 0.0, 1e-12);
+}
+
+TEST(GemTest, PrefersLowErrorCandidateOverwhelmingly) {
+  // One candidate has dramatically lower q; with large epsilon GEM picks it
+  // nearly always.
+  std::vector<GemCandidate> candidates;
+  for (int delta : PowersOfTwoGrid(64)) {
+    GemCandidate c;
+    c.lipschitz = delta;
+    c.q = (delta == 8) ? 1.0 : 500.0;
+    candidates.push_back(c);
+  }
+  Rng rng(2);
+  int picked_8 = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const GemResult result = GemSelect(candidates, 5.0, 0.1, rng);
+    if (candidates[result.selected_index].lipschitz == 8.0) ++picked_8;
+  }
+  EXPECT_GT(picked_8, trials * 95 / 100);
+}
+
+TEST(GemTest, Theorem35UtilityBound) {
+  // With probability >= 1 - beta, q_selected <= min_i q_i * O(ln(k/beta)).
+  // Empirically verify a concrete version: q_selected <= q_best + 2t·i_best
+  // style bound... We check the weaker, implementation-level property that
+  // the selected candidate's shifted score is within 2t·(i+j) of optimal in
+  // at least (1-beta) fraction of trials, via the score bound s_î <= ... .
+  // Practical check: q_î <= 10 * ln(k/β)/ε * q_best over many trials.
+  std::vector<GemCandidate> candidates;
+  Rng workload_rng(33);
+  for (int delta : PowersOfTwoGrid(256)) {
+    GemCandidate c;
+    c.lipschitz = delta;
+    c.q = delta / 0.5 + workload_rng.NextDouble() * 30.0;
+    candidates.push_back(c);
+  }
+  double q_best = 1e18;
+  for (const auto& c : candidates) q_best = std::min(q_best, c.q);
+
+  Rng rng(34);
+  const double epsilon = 1.0;
+  const double beta = 0.1;
+  const double k = static_cast<double>(candidates.size() - 1);
+  const double blowup = 10.0 * std::log(k / beta) / epsilon;
+  int violations = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const GemResult result = GemSelect(candidates, epsilon, beta, rng);
+    if (candidates[result.selected_index].q > q_best * blowup) ++violations;
+  }
+  EXPECT_LT(static_cast<double>(violations) / trials, beta);
+}
+
+TEST(GemTest, SingletonGridWorks) {
+  std::vector<GemCandidate> candidates = {{1.0, 3.0}};
+  Rng rng(4);
+  const GemResult result = GemSelect(candidates, 1.0, 0.1, rng);
+  EXPECT_EQ(result.selected_index, 0);
+}
+
+TEST(GemTest, DeterministicGivenSeed) {
+  std::vector<GemCandidate> candidates = {
+      {1.0, 5.0}, {2.0, 3.0}, {4.0, 8.0}};
+  Rng a(99);
+  Rng b(99);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_EQ(GemSelect(candidates, 1.0, 0.1, a).selected_index,
+              GemSelect(candidates, 1.0, 0.1, b).selected_index);
+  }
+}
+
+TEST(GemDeathTest, InvalidInputs) {
+  Rng rng(1);
+  EXPECT_DEATH(GemSelect({}, 1.0, 0.1, rng), "CHECK failed");
+  std::vector<GemCandidate> bad = {{0.0, 1.0}};
+  EXPECT_DEATH(GemSelect(bad, 1.0, 0.1, rng), "CHECK failed");
+  std::vector<GemCandidate> good = {{1.0, 1.0}};
+  EXPECT_DEATH(GemSelect(good, -1.0, 0.1, rng), "CHECK failed");
+  EXPECT_DEATH(GemSelect(good, 1.0, 1.5, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

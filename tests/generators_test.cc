@@ -1,0 +1,130 @@
+// Tests for the workload generators.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(GeneratorsTest, StructuredFamilies) {
+  EXPECT_EQ(gen::Empty(6).NumEdges(), 0);
+  EXPECT_EQ(gen::Complete(6).NumEdges(), 15);
+  EXPECT_EQ(gen::Path(6).NumEdges(), 5);
+  EXPECT_EQ(gen::Cycle(6).NumEdges(), 6);
+  EXPECT_EQ(gen::Star(6).NumEdges(), 6);
+  EXPECT_EQ(gen::Star(6).Degree(0), 6);
+  EXPECT_EQ(gen::Grid(3, 4).NumVertices(), 12);
+  EXPECT_EQ(gen::Grid(3, 4).NumEdges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(gen::Caterpillar(4, 2).NumVertices(), 4 + 8);
+  EXPECT_EQ(gen::Caterpillar(4, 2).NumEdges(), 3 + 8);
+}
+
+TEST(GeneratorsTest, PathAndGridAreConnected) {
+  EXPECT_EQ(CountConnectedComponents(gen::Path(17)), 1);
+  EXPECT_EQ(CountConnectedComponents(gen::Grid(5, 7)), 1);
+  EXPECT_EQ(CountConnectedComponents(gen::Caterpillar(5, 3)), 1);
+}
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(gen::ErdosRenyi(10, 0.0, rng).NumEdges(), 0);
+  EXPECT_EQ(gen::ErdosRenyi(10, 1.0, rng).NumEdges(), 45);
+}
+
+TEST(GeneratorsTest, ErdosRenyiEdgeCountConcentrates) {
+  // Mean edge count over trials should be close to p * C(n,2).
+  Rng rng(1234);
+  const int n = 60;
+  const double p = 0.1;
+  double total = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    total += gen::ErdosRenyi(n, p, rng).NumEdges();
+  }
+  const double expected = p * n * (n - 1) / 2.0;  // 177
+  EXPECT_NEAR(total / trials, expected, expected * 0.15);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicGivenSeed) {
+  Rng rng_a(777);
+  Rng rng_b(777);
+  const Graph a = gen::ErdosRenyi(40, 0.1, rng_a);
+  const Graph b = gen::ErdosRenyi(40, 0.1, rng_b);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorsTest, RandomGeometricMatchesBruteForce) {
+  Rng rng(55);
+  std::vector<std::pair<double, double>> points;
+  const Graph g = gen::RandomGeometricWithPositions(80, 0.2, rng, &points);
+  ASSERT_EQ(points.size(), 80u);
+  int expected_edges = 0;
+  for (int i = 0; i < 80; ++i) {
+    for (int j = i + 1; j < 80; ++j) {
+      const double dx = points[i].first - points[j].first;
+      const double dy = points[i].second - points[j].second;
+      if (std::sqrt(dx * dx + dy * dy) <= 0.2) {
+        ++expected_edges;
+        EXPECT_TRUE(g.HasEdge(i, j)) << i << "," << j;
+      }
+    }
+  }
+  EXPECT_EQ(g.NumEdges(), expected_edges);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Rng rng(9);
+  const Graph g = gen::BarabasiAlbert(100, 2, rng);
+  EXPECT_EQ(g.NumVertices(), 100);
+  // Each of the 98 later vertices adds (up to) 2 edges on top of the seed.
+  EXPECT_GE(g.NumEdges(), 150);
+  EXPECT_LE(g.NumEdges(), 1 + 2 * 98);
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+}
+
+TEST(GeneratorsTest, CliqueUnionAndEntityGraph) {
+  const Graph g = gen::CliqueUnion({2, 3, 1});
+  EXPECT_EQ(g.NumVertices(), 6);
+  EXPECT_EQ(g.NumEdges(), 1 + 3 + 0);
+  EXPECT_EQ(CountConnectedComponents(g), 3);
+
+  Rng rng(31);
+  const Graph entities = gen::RandomEntityGraph(50, 4, rng);
+  EXPECT_EQ(CountConnectedComponents(entities), 50);
+  EXPECT_LE(entities.NumVertices(), 200);
+  EXPECT_GE(entities.NumVertices(), 50);
+}
+
+TEST(GeneratorsTest, RandomTreeLikeRespectsDegreeInTree) {
+  Rng rng(66);
+  for (int max_degree : {2, 3, 5}) {
+    const Graph g = gen::RandomTreeLike(60, max_degree, 0.0, rng);
+    EXPECT_EQ(CountConnectedComponents(g), 1);
+    EXPECT_EQ(g.NumEdges(), 59);  // a tree
+    EXPECT_LE(g.MaxDegree(), max_degree);
+  }
+}
+
+TEST(GeneratorsTest, RandomTreeLikeExtraEdges) {
+  Rng rng(67);
+  const Graph g = gen::RandomTreeLike(80, 3, 0.5, rng);
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+  EXPECT_GE(g.NumEdges(), 79);
+}
+
+TEST(GeneratorsTest, DisjointUnionOffsets) {
+  const Graph g = gen::DisjointUnion({gen::Path(3), gen::Cycle(3)});
+  EXPECT_EQ(g.NumVertices(), 6);
+  EXPECT_EQ(g.NumEdges(), 2 + 3);
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+}  // namespace
+}  // namespace nodedp

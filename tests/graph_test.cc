@@ -1,0 +1,100 @@
+// Unit tests for the core Graph type and GraphBuilder.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace nodedp {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+}
+
+TEST(GraphTest, VerticesWithoutEdges) {
+  Graph g(5, {});
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.Degree(v), 0);
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, NormalizesAndDeduplicatesEdges) {
+  Graph g(4, {{2, 1}, {1, 2}, {0, 3}, {3, 0}});
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.EdgeAt(0).u, 0);
+  EXPECT_EQ(g.EdgeAt(0).v, 3);
+}
+
+TEST(GraphTest, AdjacencySorted) {
+  Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const std::vector<int> expected = {1, 2, 3, 4};
+  EXPECT_EQ(g.Neighbors(0), expected);
+  EXPECT_EQ(g.Degree(0), 4);
+  EXPECT_EQ(g.MaxDegree(), 4);
+}
+
+TEST(GraphTest, EdgeIds) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const Edge& edge = g.EdgeAt(e);
+    EXPECT_EQ(g.EdgeId(edge.u, edge.v), e);
+    EXPECT_EQ(g.EdgeId(edge.v, edge.u), e);
+  }
+  EXPECT_EQ(g.EdgeId(0, 3), -1);
+  EXPECT_EQ(g.EdgeId(0, 0), -1);
+}
+
+TEST(GraphTest, IncidentEdgeIdsCoverDegree) {
+  Graph g(5, {{0, 1}, {0, 2}, {1, 2}, {3, 4}});
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(static_cast<int>(g.IncidentEdgeIds(v).size()), g.Degree(v));
+    for (int e : g.IncidentEdgeIds(v)) {
+      const Edge& edge = g.EdgeAt(e);
+      EXPECT_TRUE(edge.u == v || edge.v == v);
+    }
+  }
+}
+
+TEST(GraphBuilderTest, AddEdgeRejectsDuplicatesAndLoops) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(1, 0));  // duplicate, reversed
+  EXPECT_FALSE(builder.AddEdge(2, 2));  // self-loop
+  EXPECT_TRUE(builder.AddEdge(1, 2));
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(GraphBuilderTest, AddVertexGrowsGraph) {
+  GraphBuilder builder(1);
+  const int v = builder.AddVertex();
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(builder.AddEdge(0, v));
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphDeathTest, RejectsSelfLoop) {
+  EXPECT_DEATH(Graph(3, {{1, 1}}), "self-loop");
+}
+
+TEST(GraphDeathTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_DEATH(Graph(3, {{0, 3}}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

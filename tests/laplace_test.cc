@@ -1,0 +1,108 @@
+// Statistical tests (fixed seeds) for the Laplace mechanism.
+
+#include "dp/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(LaplaceTest, ZeroSensitivityIsNoiseless) {
+  Rng rng(1);
+  EXPECT_EQ(LaplaceMechanism(42.0, 0.0, 1.0, rng), 42.0);
+}
+
+TEST(LaplaceTest, EmpiricalMeanAndScale) {
+  Rng rng(777);
+  const double sensitivity = 2.0;
+  const double epsilon = 0.5;
+  const double b = sensitivity / epsilon;  // 4
+  const int trials = 200000;
+  double sum = 0.0;
+  double sum_abs = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const double noise = LaplaceMechanism(0.0, sensitivity, epsilon, rng);
+    sum += noise;
+    sum_abs += std::fabs(noise);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.1);          // mean 0
+  EXPECT_NEAR(sum_abs / trials, b, b * 0.02);   // E|Lap(b)| = b
+}
+
+TEST(LaplaceTest, TailMatchesLemma23) {
+  // Pr[|X| >= t*b] = e^{-t} (Lemma 2.3); check t = 1, 2 empirically.
+  Rng rng(888);
+  const double b = 3.0;
+  const int trials = 200000;
+  int beyond_1 = 0;
+  int beyond_2 = 0;
+  for (int t = 0; t < trials; ++t) {
+    const double x = rng.NextLaplace(b);
+    if (std::fabs(x) >= b) ++beyond_1;
+    if (std::fabs(x) >= 2 * b) ++beyond_2;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond_1) / trials, std::exp(-1.0), 0.01);
+  EXPECT_NEAR(static_cast<double>(beyond_2) / trials, std::exp(-2.0), 0.01);
+}
+
+TEST(LaplaceTest, TailBoundFormulas) {
+  EXPECT_NEAR(LaplaceTailProbability(2.0, 4.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(LaplaceTailBound(2.0, std::exp(-2.0)), 4.0, 1e-9);
+  // Round trip: P[|X| >= TailBound(b, beta)] == beta.
+  const double b = 5.0;
+  const double beta = 0.03;
+  EXPECT_NEAR(LaplaceTailProbability(b, LaplaceTailBound(b, beta)), beta,
+              1e-12);
+}
+
+TEST(LaplaceTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(LaplaceMechanism(1.0, 2.0, 1.0, a),
+              LaplaceMechanism(1.0, 2.0, 1.0, b));
+  }
+}
+
+TEST(LaplaceTest, LikelihoodRatioBoundedByEpsilon) {
+  // Core DP property of the density: for outputs z and neighboring values
+  // differing by the sensitivity, the density ratio is <= e^eps. Verified
+  // via histogram on a coarse grid.
+  Rng rng(999);
+  const double eps = 1.0;
+  const double sensitivity = 1.0;
+  const int trials = 400000;
+  const double lo = -6.0;
+  const double hi = 6.0;
+  const int bins = 24;
+  std::vector<double> h0(bins, 0.0);
+  std::vector<double> h1(bins, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const double z0 = LaplaceMechanism(0.0, sensitivity, eps, rng);
+    const double z1 = LaplaceMechanism(1.0, sensitivity, eps, rng);
+    const int b0 = static_cast<int>((z0 - lo) / (hi - lo) * bins);
+    const int b1 = static_cast<int>((z1 - lo) / (hi - lo) * bins);
+    if (b0 >= 0 && b0 < bins) h0[b0] += 1;
+    if (b1 >= 0 && b1 < bins) h1[b1] += 1;
+  }
+  for (int b = 0; b < bins; ++b) {
+    if (h0[b] < 500 || h1[b] < 500) continue;  // skip noisy tails
+    const double ratio = h0[b] / h1[b];
+    EXPECT_LE(ratio, std::exp(eps) * 1.15) << "bin " << b;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.15) << "bin " << b;
+  }
+}
+
+TEST(LaplaceDeathTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_DEATH(LaplaceMechanism(0.0, 1.0, 0.0, rng), "CHECK failed");
+  EXPECT_DEATH(LaplaceMechanism(0.0, -1.0, 1.0, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,106 @@
+// Parameterized distributional sweeps for the DP mechanisms: the Laplace
+// sampler across scales and the exponential mechanism across score shapes,
+// each checked against closed-form properties at every parameter point.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dp/exponential.h"
+#include "dp/laplace.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+class LaplaceSweepTest
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LaplaceSweepTest, MeanAbsoluteDeviationMatchesScale) {
+  const auto& [sensitivity, epsilon] = GetParam();
+  const double b = sensitivity / epsilon;
+  Rng rng(static_cast<uint64_t>(sensitivity * 1000 + epsilon * 77));
+  const int trials = 60000;
+  double sum_abs = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    sum_abs += std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, rng));
+  }
+  EXPECT_NEAR(sum_abs / trials, b, b * 0.04);
+}
+
+TEST_P(LaplaceSweepTest, MedianAbsoluteDeviationMatchesTheory) {
+  // median(|Lap(b)|) = b ln 2.
+  const auto& [sensitivity, epsilon] = GetParam();
+  const double b = sensitivity / epsilon;
+  Rng rng(static_cast<uint64_t>(sensitivity * 991 + epsilon * 13));
+  const int trials = 60001;
+  std::vector<double> samples(trials);
+  for (double& s : samples) {
+    s = std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, rng));
+  }
+  std::nth_element(samples.begin(), samples.begin() + trials / 2,
+                   samples.end());
+  EXPECT_NEAR(samples[trials / 2], b * std::log(2.0), b * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, LaplaceSweepTest,
+    testing::Combine(testing::Values(0.5, 1.0, 4.0, 32.0),
+                     testing::Values(0.25, 1.0, 4.0)),
+    [](const testing::TestParamInfo<LaplaceSweepTest::ParamType>& info) {
+      return "s" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_e" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+class ExponentialSweepTest : public testing::TestWithParam<double> {};
+
+TEST_P(ExponentialSweepTest, PairwiseOddsMatchTheory) {
+  // For any two candidates, empirical selection odds must match
+  // exp(eps * (s_j - s_i) / 2) within sampling error.
+  const double epsilon = GetParam();
+  const std::vector<double> scores = {0.0, 0.7, 1.9};
+  Rng rng(static_cast<uint64_t>(epsilon * 1009));
+  std::vector<int> counts(scores.size(), 0);
+  const int trials = 120000;
+  for (int t = 0; t < trials; ++t) {
+    ++counts[ExponentialMechanismMin(scores, 1.0, epsilon, rng)];
+  }
+  const auto expected =
+      ExponentialMechanismProbabilities(scores, 1.0, epsilon);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, expected[i], 0.012)
+        << "candidate " << i << " at eps=" << epsilon;
+  }
+}
+
+TEST_P(ExponentialSweepTest, ScoreShiftInvariance) {
+  // The EM distribution is invariant under shifting every score by a
+  // constant — an important property the GEM construction relies on when
+  // it drops the h(G) term from the q_i (Appendix B footnote).
+  const double epsilon = GetParam();
+  const std::vector<double> base = {0.3, 1.1, 2.0, 5.5};
+  std::vector<double> shifted;
+  for (double s : base) shifted.push_back(s + 123.456);
+  const auto p_base = ExponentialMechanismProbabilities(base, 1.0, epsilon);
+  const auto p_shifted =
+      ExponentialMechanismProbabilities(shifted, 1.0, epsilon);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(p_base[i], p_shifted[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, ExponentialSweepTest,
+                         testing::Values(0.25, 1.0, 3.0),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "e" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace nodedp

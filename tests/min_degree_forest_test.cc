@@ -1,0 +1,92 @@
+// Tests for exact Δ* computation and its bounds.
+
+#include "core/min_degree_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(MinDegreeForestTest, StructuredValues) {
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Empty(4)).value(), 0);
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(Graph(2, {{0, 1}})).value(), 1);
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Path(7)).value(), 2);
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Cycle(5)).value(), 2);
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Star(6)).value(), 6);
+  // K_n has a Hamiltonian path.
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Complete(6)).value(), 2);
+  // Grid has a boustrophedon Hamiltonian path.
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(gen::Grid(3, 4)).value(), 2);
+}
+
+TEST(MinDegreeForestTest, CaterpillarNeedsLegsPlusSpine) {
+  // Each spine vertex of Caterpillar(s, l) must host its l pendant leaves;
+  // interior spine vertices then have degree l + 2 in any spanning tree
+  // (pendants have no alternative attachment), except the spine can be
+  // entered via a leaf... Pendant edges are forced; the spine path is also
+  // forced (unique edges), so Δ* = l + 2 for s >= 3.
+  const Graph g = gen::Caterpillar(4, 2);
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(g).value(), 4);
+}
+
+TEST(MinDegreeForestTest, DecisionMatchesExact) {
+  Rng rng(330);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextUint64(4));
+    const Graph g = gen::ErdosRenyi(n, 0.35, rng);
+    if (g.NumEdges() == 0) continue;
+    const auto exact = MinMaxDegreeSpanningForestExact(g);
+    ASSERT_TRUE(exact.has_value());
+    for (int delta = 1; delta <= *exact + 1; ++delta) {
+      const auto decision = HasSpanningForestOfDegree(g, delta);
+      ASSERT_TRUE(decision.has_value());
+      EXPECT_EQ(*decision, delta >= *exact) << "delta=" << delta;
+    }
+  }
+}
+
+TEST(MinDegreeForestTest, UpperBoundIsValidAndWithinLemma16) {
+  Rng rng(331);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextUint64(4));
+    const Graph g = gen::ErdosRenyi(n, 0.3, rng);
+    if (g.NumEdges() == 0) continue;
+    const int upper = MinDegreeForestUpperBound(g);
+    const auto exact = MinMaxDegreeSpanningForestExact(g);
+    ASSERT_TRUE(exact.has_value());
+    const StarNumberResult s = InducedStarNumber(g);
+    ASSERT_TRUE(s.exact);
+    EXPECT_GE(upper, *exact);
+    EXPECT_LE(upper, s.value + 1);  // Lemma 1.6 via Lemma 1.8
+  }
+}
+
+TEST(MinDegreeForestTest, WorkLimitReturnsUnknown) {
+  Rng rng(332);
+  const Graph g = gen::ErdosRenyi(14, 0.5, rng);
+  MinDegreeForestOptions tiny;
+  tiny.work_limit = 1;
+  // Δ=1 on a dense graph: repair fails, search immediately exhausts.
+  const auto decision = HasSpanningForestOfDegree(g, 1, tiny);
+  EXPECT_FALSE(decision.has_value());
+}
+
+TEST(MinDegreeForestTest, DisconnectedGraphsUseForests) {
+  const Graph g = gen::DisjointUnion({gen::Star(3), gen::Path(4)});
+  EXPECT_EQ(MinMaxDegreeSpanningForestExact(g).value(), 3);
+  EXPECT_TRUE(HasSpanningForestOfDegree(g, 3).value());
+  EXPECT_FALSE(HasSpanningForestOfDegree(g, 2).value());
+}
+
+TEST(MinDegreeForestTest, DeltaZeroOnlyForEdgeless) {
+  EXPECT_TRUE(HasSpanningForestOfDegree(gen::Empty(3), 0).value());
+  EXPECT_FALSE(HasSpanningForestOfDegree(gen::Path(3), 0).value());
+  EXPECT_EQ(MinDegreeForestUpperBound(gen::Empty(3)), 0);
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,76 @@
+// Tests for the empirical sensitivity audit — and, through it, the
+// Lipschitz facts the privacy proof of Algorithm 1 rests on.
+
+#include "core/privacy_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(PrivacyAuditTest, ExtensionRatioNeverExceedsOne) {
+  Rng rng(1300);
+  const std::vector<double> deltas = {1.0, 2.0, 4.0};
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.3, rng);
+    const AuditReport report = AuditExtensionLipschitz(g, deltas, rng);
+    EXPECT_GT(report.pairs_audited, 0);
+    EXPECT_LE(report.worst_extension_ratio, 1.0 + 1e-6)
+        << "trial=" << trial;
+    EXPECT_LE(report.worst_monotonicity_violation, 1e-6);
+  }
+}
+
+TEST(PrivacyAuditTest, RatioIsTightOnRemark34Family) {
+  // The Δ isolated vertices + apex family attains ratio exactly 1; dense
+  // insertions (edge_p = 1) against the empty graph reproduce it.
+  Rng rng(1301);
+  AuditOptions options;
+  options.edge_p = 1.0;
+  options.neighbor_samples = 4;
+  const AuditReport report =
+      AuditExtensionLipschitz(gen::Empty(4), {4.0}, rng, options);
+  EXPECT_NEAR(report.worst_extension_ratio, 1.0, 1e-6);
+}
+
+TEST(PrivacyAuditTest, GemScoreSensitivityAtMostOne) {
+  Rng rng(1302);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gen::ErdosRenyi(14, 0.25, rng);
+    AuditOptions options;
+    options.neighbor_samples = 8;
+    const AuditReport report =
+        AuditGemScoreSensitivity(g, /*epsilon=*/1.0, /*beta=*/0.1, rng,
+                                 options);
+    EXPECT_GT(report.pairs_audited, 0);
+    EXPECT_LE(report.worst_score_sensitivity, 1.0 + 1e-6)
+        << "trial=" << trial;
+  }
+}
+
+TEST(PrivacyAuditTest, StructuredWorkloads) {
+  Rng rng(1303);
+  for (const Graph& g : {gen::Star(8), gen::Grid(4, 4), gen::Path(12),
+                         gen::CliqueUnion({3, 4, 2})}) {
+    const AuditReport ext =
+        AuditExtensionLipschitz(g, {1.0, 2.0, 8.0}, rng);
+    EXPECT_LE(ext.worst_extension_ratio, 1.0 + 1e-6);
+    const AuditReport gem =
+        AuditGemScoreSensitivity(g, 2.0, 0.1, rng);
+    EXPECT_LE(gem.worst_score_sensitivity, 1.0 + 1e-6);
+  }
+}
+
+TEST(PrivacyAuditTest, EmptyGraphEdgeCase) {
+  Rng rng(1304);
+  const AuditReport report =
+      AuditExtensionLipschitz(gen::Empty(0), {1.0}, rng);
+  // Only insertions are possible; audit must not crash and ratio stays 0/1.
+  EXPECT_LE(report.worst_extension_ratio, 1.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,174 @@
+// End-to-end tests for Algorithm 1 (PrivateSpanningForestSize) and the
+// connected-components release.
+
+#include "core/private_cc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(PrivateCcTest, DefaultBetaSane) {
+  EXPECT_GE(DefaultBeta(1), 0.01);
+  EXPECT_LE(DefaultBeta(1), 0.25);
+  EXPECT_LE(DefaultBeta(1000000), 0.25);
+  EXPECT_GE(DefaultBeta(1000000), 0.01);
+  // Decreasing in n (more vertices, smaller failure probability).
+  EXPECT_GE(DefaultBeta(100), DefaultBeta(100000));
+}
+
+TEST(PrivateCcTest, ReleaseShapeAndDiagnostics) {
+  Rng rng(11);
+  const Graph g = gen::Path(32);
+  const Result<SpanningForestRelease> release =
+      PrivateSpanningForestSize(g, /*epsilon=*/1.0, rng);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->grid, PowersOfTwoGrid(32));
+  EXPECT_EQ(release->candidates.size(), release->grid.size());
+  EXPECT_GE(release->selected_delta, 1);
+  EXPECT_LE(release->selected_delta, 32);
+  EXPECT_GT(release->laplace_scale, 0.0);
+  // Extension value underestimates f_sf.
+  EXPECT_LE(release->extension_value, SpanningForestSize(g) + 1e-6);
+}
+
+TEST(PrivateCcTest, PathErrorConcentratesNearDeltaStar) {
+  // Paths have Δ* = 2; with ε = 2 the selected Δ̂ should usually be small
+  // and the absolute error far below n.
+  Rng rng(12);
+  const Graph g = gen::Path(64);
+  const double truth = SpanningForestSize(g);
+  std::vector<double> errors;
+  std::vector<double> selected;
+  for (int t = 0; t < 60; ++t) {
+    const auto release = PrivateSpanningForestSize(g, 2.0, rng);
+    ASSERT_TRUE(release.ok());
+    errors.push_back(release->estimate - truth);
+    selected.push_back(release->selected_delta);
+  }
+  const ErrorSummary summary = SummarizeErrors(errors);
+  EXPECT_LT(summary.median_abs, 16.0);  // n/4, loose but meaningful
+  // Δ̂ should be 2/4-ish most of the time, far from n = 64.
+  EXPECT_LT(Quantile(selected, 0.5), 9.0);
+}
+
+TEST(PrivateCcTest, EntityGraphAccuracy) {
+  // Union of small cliques: s(G) = 1 (cliques), so Δ* <= 2 and the
+  // estimate should be sharp.
+  Rng rng(13);
+  const Graph g = gen::RandomEntityGraph(60, 4, rng);
+  const double truth = CountConnectedComponents(g);
+  std::vector<double> errors;
+  for (int t = 0; t < 40; ++t) {
+    const auto release = PrivateConnectedComponents(g, 2.0, rng);
+    ASSERT_TRUE(release.ok());
+    errors.push_back(release->estimate - truth);
+  }
+  EXPECT_LT(SummarizeErrors(errors).median_abs, 12.0);
+}
+
+TEST(PrivateCcTest, EquationOneConsistency) {
+  // estimate_cc = estimate_n - estimate_sf by construction.
+  Rng rng(14);
+  const Graph g = gen::Grid(6, 6);
+  const auto release = PrivateConnectedComponents(g, 1.0, rng);
+  ASSERT_TRUE(release.ok());
+  EXPECT_NEAR(release->estimate,
+              release->node_count_estimate - release->forest.estimate,
+              1e-9);
+}
+
+TEST(PrivateCcTest, ExtensionValuesMatchSelectedDelta) {
+  // The released pre-noise value must equal f_Δ̂(G) for the Δ̂ that GEM
+  // selected (internal consistency of Algorithm 1 steps 1-2).
+  Rng rng(15);
+  const Graph g = gen::Caterpillar(8, 3);
+  for (int t = 0; t < 10; ++t) {
+    const auto release = PrivateSpanningForestSize(g, 1.0, rng);
+    ASSERT_TRUE(release.ok());
+    int index = -1;
+    for (size_t i = 0; i < release->grid.size(); ++i) {
+      if (release->grid[i] == release->selected_delta) {
+        index = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(index, 0);
+    // q = (f_sf - f_Δ) + Δ/(ε/2); recover f_Δ and compare.
+    const double gem_epsilon = 0.5;
+    const double q = release->candidates[index].q;
+    const double f_delta = SpanningForestSize(g) -
+                           (q - release->selected_delta / gem_epsilon);
+    EXPECT_NEAR(f_delta, release->extension_value, 1e-6);
+  }
+}
+
+TEST(PrivateCcTest, DeltaMaxOverrideShrinksGrid) {
+  Rng rng(16);
+  const Graph g = gen::Path(100);
+  PrivateCcOptions options;
+  options.delta_max = 8;
+  const auto release = PrivateSpanningForestSize(g, 1.0, rng, options);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->grid, (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(PrivateCcTest, NoiseScalesInverselyWithEpsilon) {
+  // Mean abs error at eps = 8 should be well below eps = 0.25 on the same
+  // workload.
+  Rng rng(17);
+  const Graph g = gen::Path(48);
+  const double truth = SpanningForestSize(g);
+  auto mean_abs_error = [&](double epsilon) {
+    std::vector<double> errors;
+    for (int t = 0; t < 50; ++t) {
+      const auto release = PrivateSpanningForestSize(g, epsilon, rng);
+      errors.push_back(release.value().estimate - truth);
+    }
+    return SummarizeErrors(errors).mean_abs;
+  };
+  EXPECT_LT(mean_abs_error(8.0) * 3.0, mean_abs_error(0.25));
+}
+
+TEST(PrivateCcTest, GeometricGraphSelectsSmallDelta) {
+  // s(G) <= 5 for geometric graphs: the anchor set is reached by Δ = 8 at
+  // the latest, so GEM should rarely pick larger Δ.
+  Rng rng(18);
+  const Graph g = gen::RandomGeometric(120, 0.12, rng);
+  std::vector<double> selected;
+  for (int t = 0; t < 30; ++t) {
+    const auto release = PrivateSpanningForestSize(g, 2.0, rng);
+    ASSERT_TRUE(release.ok());
+    selected.push_back(release->selected_delta);
+  }
+  EXPECT_LE(Quantile(selected, 0.5), 8.0);
+}
+
+TEST(PrivateCcTest, BudgetSplitHonored) {
+  Rng rng(19);
+  const Graph g = gen::Path(16);
+  PrivateCcOptions options;
+  options.node_count_budget_fraction = 0.2;
+  const auto release = PrivateConnectedComponents(g, 1.0, rng, options);
+  ASSERT_TRUE(release.ok());
+  // Forest release ran at 0.8; its Laplace scale is Δ̂ / (0.8/2).
+  EXPECT_NEAR(release->forest.laplace_scale,
+              release->forest.selected_delta / 0.4, 1e-9);
+}
+
+TEST(PrivateCcDeathTest, InvalidEpsilon) {
+  Rng rng(1);
+  const Graph g = gen::Path(4);
+  EXPECT_DEATH(PrivateSpanningForestSize(g, 0.0, rng).ok(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

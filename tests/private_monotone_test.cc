@@ -1,0 +1,94 @@
+// Tests for the generic monotone-statistic mechanism (Theorem A.2).
+
+#include "core/private_monotone.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/down_sensitivity.h"
+#include "eval/stats.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+double FsfStatistic(const Graph& g) {
+  return static_cast<double>(SpanningForestSize(g));
+}
+double EdgeCountStatistic(const Graph& g) {
+  return static_cast<double>(g.NumEdges());
+}
+
+TEST(PrivateMonotoneTest, ReleaseShape) {
+  Rng rng(1400);
+  const Graph g = gen::Path(12);
+  const MonotoneRelease release =
+      PrivateMonotoneStatistic(g, FsfStatistic, 1.0, rng);
+  EXPECT_GE(release.selected_delta, 1);
+  EXPECT_LE(release.selected_delta, 16);
+  EXPECT_EQ(release.candidates.size(), PowersOfTwoGrid(12).size());
+}
+
+TEST(PrivateMonotoneTest, AccurateOnLowDownSensitivityInputs) {
+  // Paths have DS_fsf = 2: the error should concentrate near ~Δ̂/ε with
+  // Δ̂ small, far below n.
+  Rng rng(1401);
+  const Graph g = gen::Path(14);
+  const double truth = FsfStatistic(g);
+  std::vector<double> errors;
+  for (int t = 0; t < 60; ++t) {
+    errors.push_back(
+        PrivateMonotoneStatistic(g, FsfStatistic, 2.0, rng).estimate -
+        truth);
+  }
+  EXPECT_LT(SummarizeErrors(errors).median_abs, 7.0);
+}
+
+TEST(PrivateMonotoneTest, WorksForEdgeCount) {
+  // Edge count is monotone with DS = max degree over induced subgraphs.
+  Rng rng(1402);
+  const Graph g = gen::Cycle(10);  // DS_edges = 2
+  const double truth = EdgeCountStatistic(g);
+  std::vector<double> errors;
+  for (int t = 0; t < 60; ++t) {
+    errors.push_back(
+        PrivateMonotoneStatistic(g, EdgeCountStatistic, 2.0, rng).estimate -
+        truth);
+  }
+  EXPECT_LT(SummarizeErrors(errors).median_abs, 8.0);
+}
+
+TEST(PrivateMonotoneTest, ExtensionValueAnchoredWhenDeltaAboveDs) {
+  // Whenever GEM picks Δ̂ >= DS_f(G), the pre-noise value equals f(G).
+  Rng rng(1403);
+  const Graph g = gen::CliqueUnion({3, 3, 2});
+  const double ds = DownSensitivityBruteForce(g, FsfStatistic);
+  for (int t = 0; t < 20; ++t) {
+    const MonotoneRelease release =
+        PrivateMonotoneStatistic(g, FsfStatistic, 4.0, rng);
+    if (release.selected_delta >= ds) {
+      EXPECT_NEAR(release.extension_value, FsfStatistic(g), 1e-9);
+    }
+  }
+}
+
+TEST(PrivateMonotoneTest, DeterministicGivenSeed) {
+  Rng a(77);
+  Rng b(77);
+  const Graph g = gen::Grid(3, 3);
+  EXPECT_EQ(PrivateMonotoneStatistic(g, FsfStatistic, 1.0, a).estimate,
+            PrivateMonotoneStatistic(g, FsfStatistic, 1.0, b).estimate);
+}
+
+TEST(PrivateMonotoneDeathTest, LargeGraphRejected) {
+  Rng rng(1);
+  const Graph g = gen::Path(20);
+  EXPECT_DEATH(PrivateMonotoneStatistic(g, FsfStatistic, 1.0, rng),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

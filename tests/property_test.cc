@@ -1,0 +1,177 @@
+// Parameterized property sweeps over graph families, exercising the paper's
+// lemmas as invariants on every family × seed combination:
+//
+//   P1 (Lemma 3.3): f_Δ underestimates f_sf and is monotone in Δ.
+//   P2 (Lemma 3.3, Item 1): spanning Δ-forest (certified by repair) implies
+//       f_Δ = f_sf.
+//   P3 (Δ-Lipschitzness): adding one arbitrary vertex changes f_Δ by <= Δ,
+//       and never decreases it.
+//   P4 (Lemma 1.8): repair succeeds for every Δ > s(G).
+//   P5 (Lemma 1.9): DS_fsf(G) <= Δ-1 implies f_Δ(G) = f_sf(G).
+//   P6 (Eq. (1)): f_cc + f_sf = |V|.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/down_sensitivity.h"
+#include "core/lipschitz_extension.h"
+#include "core/repair.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+struct FamilyCase {
+  std::string name;
+  // Generates an instance of the family for the given seed.
+  Graph (*make)(uint64_t seed);
+};
+
+Graph MakeGnpSparse(uint64_t seed) {
+  Rng rng(seed);
+  return gen::ErdosRenyi(14, 1.0 / 14, rng);
+}
+Graph MakeGnpCritical(uint64_t seed) {
+  Rng rng(seed);
+  return gen::ErdosRenyi(13, 2.0 / 13, rng);
+}
+Graph MakeGnpDense(uint64_t seed) {
+  Rng rng(seed);
+  return gen::ErdosRenyi(11, 0.5, rng);
+}
+Graph MakeGeometric(uint64_t seed) {
+  Rng rng(seed);
+  return gen::RandomGeometric(16, 0.3, rng);
+}
+Graph MakeTreeLike(uint64_t seed) {
+  Rng rng(seed);
+  return gen::RandomTreeLike(15, 3, 0.3, rng);
+}
+Graph MakeEntities(uint64_t seed) {
+  Rng rng(seed);
+  return gen::RandomEntityGraph(5, 3, rng);
+}
+Graph MakeBarabasi(uint64_t seed) {
+  Rng rng(seed);
+  return gen::BarabasiAlbert(14, 2, rng);
+}
+Graph MakeStructured(uint64_t seed) {
+  switch (seed % 5) {
+    case 0:
+      return gen::Path(12);
+    case 1:
+      return gen::Cycle(9);
+    case 2:
+      return gen::Star(8);
+    case 3:
+      return gen::Grid(3, 4);
+    default:
+      return gen::Caterpillar(4, 2);
+  }
+}
+
+class ExtensionPropertyTest
+    : public testing::TestWithParam<std::tuple<FamilyCase, uint64_t>> {
+ protected:
+  Graph MakeGraph() const {
+    const auto& [family, seed] = GetParam();
+    return family.make(seed);
+  }
+};
+
+TEST_P(ExtensionPropertyTest, P1UnderestimationAndMonotonicity) {
+  const Graph g = MakeGraph();
+  const double f_sf = SpanningForestSize(g);
+  double previous = -1.0;
+  for (double delta : {1.0, 2.0, 3.0, 5.0, 9.0}) {
+    const double value = LipschitzExtensionValue(g, delta);
+    EXPECT_LE(value, f_sf + kTol);
+    EXPECT_GE(value, previous - kTol);
+    previous = value;
+  }
+}
+
+TEST_P(ExtensionPropertyTest, P2RepairCertificateImpliesExactness) {
+  const Graph g = MakeGraph();
+  for (int delta : {1, 2, 4, 8}) {
+    const auto forest = RepairSpanningForest(g, delta);
+    if (forest.has_value()) {
+      EXPECT_NEAR(LipschitzExtensionValue(g, delta),
+                  SpanningForestSize(g), kTol)
+          << "delta=" << delta;
+    }
+  }
+}
+
+TEST_P(ExtensionPropertyTest, P3LipschitzUnderNodeInsertion) {
+  const Graph g = MakeGraph();
+  const auto& [family, seed] = GetParam();
+  (void)family;
+  Rng rng(seed ^ 0xABCDEF);
+  std::vector<int> neighbors;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    if (rng.NextBernoulli(0.4)) neighbors.push_back(v);
+  }
+  const Graph g_prime = AddVertex(g, neighbors);
+  for (double delta : {1.0, 2.0, 4.0}) {
+    const double lo = LipschitzExtensionValue(g, delta);
+    const double hi = LipschitzExtensionValue(g_prime, delta);
+    EXPECT_GE(hi, lo - kTol) << "delta=" << delta;
+    EXPECT_LE(hi - lo, delta + kTol) << "delta=" << delta;
+  }
+}
+
+TEST_P(ExtensionPropertyTest, P4RepairSucceedsAboveStarNumber) {
+  const Graph g = MakeGraph();
+  if (g.NumEdges() == 0) return;
+  const StarNumberResult s = InducedStarNumber(g);
+  ASSERT_TRUE(s.exact);
+  for (int delta = s.value + 1; delta <= s.value + 2; ++delta) {
+    const auto forest = RepairSpanningForest(g, delta);
+    ASSERT_TRUE(forest.has_value()) << "delta=" << delta << " s=" << s.value;
+    EXPECT_TRUE(forest->IsSpanningForestOf(g));
+    EXPECT_LE(forest->MaxDegree(), delta);
+  }
+}
+
+TEST_P(ExtensionPropertyTest, P5AnchorSetViaDownSensitivity) {
+  const Graph g = MakeGraph();
+  const StarNumberResult s = InducedStarNumber(g);  // = DS_fsf (Lemma 1.7)
+  ASSERT_TRUE(s.exact);
+  const double delta = s.value + 1.0;
+  EXPECT_NEAR(LipschitzExtensionValue(g, delta), SpanningForestSize(g), kTol);
+}
+
+TEST_P(ExtensionPropertyTest, P6EquationOne) {
+  const Graph g = MakeGraph();
+  EXPECT_EQ(CountConnectedComponents(g) + SpanningForestSize(g),
+            g.NumVertices());
+}
+
+const FamilyCase kFamilies[] = {
+    {"GnpSparse", &MakeGnpSparse},     {"GnpCritical", &MakeGnpCritical},
+    {"GnpDense", &MakeGnpDense},       {"Geometric", &MakeGeometric},
+    {"TreeLike", &MakeTreeLike},       {"Entities", &MakeEntities},
+    {"Barabasi", &MakeBarabasi},       {"Structured", &MakeStructured},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ExtensionPropertyTest,
+    testing::Combine(testing::ValuesIn(kFamilies),
+                     testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const testing::TestParamInfo<ExtensionPropertyTest::ParamType>& info) {
+      return std::get<0>(info.param).name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace nodedp

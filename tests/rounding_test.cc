@@ -1,0 +1,146 @@
+// Tests for the primal rounding utility and the structural cut seeding of
+// the cutting-plane driver.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/forest_polytope.h"
+#include "graph/connectivity.h"
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+// Validates the forest property + degree cap of a rounded edge set.
+void ExpectValidDegreeBoundedForest(const Graph& g, int delta,
+                                    const std::vector<int>& edge_ids) {
+  UnionFind uf(g.NumVertices());
+  std::vector<int> degree(g.NumVertices(), 0);
+  for (int e : edge_ids) {
+    const Edge& edge = g.EdgeAt(e);
+    EXPECT_TRUE(uf.Union(edge.u, edge.v)) << "cycle at edge " << e;
+    ++degree[edge.u];
+    ++degree[edge.v];
+  }
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(degree[v], delta);
+  }
+}
+
+TEST(RoundingTest, ProducesValidForests) {
+  Rng rng(1500);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(20, 0.2, rng);
+    std::vector<double> weights(g.NumEdges());
+    for (double& w : weights) w = rng.NextDouble();
+    for (int delta : {1, 2, 3}) {
+      ExpectValidDegreeBoundedForest(
+          g, delta, GreedyDegreeBoundedForest(g, delta, weights));
+    }
+  }
+}
+
+TEST(RoundingTest, RecoversSpanningForestWhenDegreeAllows) {
+  // On a path with uniform weights, greedy with delta >= 2 must take every
+  // edge (the path itself is the unique spanning forest).
+  const Graph g = gen::Path(15);
+  const std::vector<double> weights(g.NumEdges(), 1.0);
+  EXPECT_EQ(static_cast<int>(
+                GreedyDegreeBoundedForest(g, 2, weights).size()),
+            14);
+}
+
+TEST(RoundingTest, PrefersHeavyEdges) {
+  // Star with 3 leaves at delta = 1: only one edge can be taken; it must be
+  // the heaviest.
+  const Graph g = gen::Star(3);
+  std::vector<double> weights = {0.1, 0.9, 0.5};
+  const std::vector<int> chosen = GreedyDegreeBoundedForest(g, 1, weights);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0], 1);
+}
+
+TEST(RoundingTest, FractionalDeltaUsesFloor) {
+  const Graph g = gen::Star(5);
+  const std::vector<double> weights(g.NumEdges(), 1.0);
+  EXPECT_EQ(GreedyDegreeBoundedForest(g, 2.9, weights).size(), 2u);
+}
+
+TEST(RoundingTest, IsMaximal) {
+  // No skipped edge can be added back: either it closes a cycle or hits a
+  // saturated endpoint.
+  Rng rng(1501);
+  const Graph g = gen::ErdosRenyi(15, 0.3, rng);
+  std::vector<double> weights(g.NumEdges());
+  for (double& w : weights) w = rng.NextDouble();
+  const int delta = 2;
+  const std::vector<int> chosen = GreedyDegreeBoundedForest(g, delta,
+                                                            weights);
+  std::vector<bool> in_forest(g.NumEdges(), false);
+  for (int e : chosen) in_forest[e] = true;
+  UnionFind uf(g.NumVertices());
+  std::vector<int> degree(g.NumVertices(), 0);
+  for (int e : chosen) {
+    uf.Union(g.EdgeAt(e).u, g.EdgeAt(e).v);
+    ++degree[g.EdgeAt(e).u];
+    ++degree[g.EdgeAt(e).v];
+  }
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (in_forest[e]) continue;
+    const Edge& edge = g.EdgeAt(e);
+    const bool addable = degree[edge.u] < delta && degree[edge.v] < delta &&
+                         !uf.Connected(edge.u, edge.v);
+    EXPECT_FALSE(addable) << "edge " << e << " was skippable";
+  }
+}
+
+TEST(StructuralSeedingTest, ValueUnchangedEitherWay) {
+  Rng rng(1502);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.3, rng);
+    for (double delta : {1.0, 2.0, 3.0}) {
+      ForestPolytopeOptions with_seed;
+      ForestPolytopeOptions without_seed;
+      without_seed.seed_structural_cuts = false;
+      const ForestPolytopeResult a =
+          MaximizeOverForestPolytope(g, delta, with_seed);
+      const ForestPolytopeResult b =
+          MaximizeOverForestPolytope(g, delta, without_seed);
+      ASSERT_EQ(a.status, LpStatus::kOptimal);
+      ASSERT_EQ(b.status, LpStatus::kOptimal);
+      EXPECT_NEAR(a.value, b.value, 1e-6)
+          << "trial=" << trial << " delta=" << delta;
+    }
+  }
+}
+
+TEST(StructuralSeedingTest, SeededRunsNeedNoMoreRounds) {
+  Rng rng(1503);
+  const Graph g = gen::ErdosRenyi(40, 0.1, rng);
+  ForestPolytopeOptions with_seed;
+  ForestPolytopeOptions without_seed;
+  without_seed.seed_structural_cuts = false;
+  const ForestPolytopeResult seeded =
+      MaximizeOverForestPolytope(g, 2.0, with_seed);
+  const ForestPolytopeResult bare =
+      MaximizeOverForestPolytope(g, 2.0, without_seed);
+  ASSERT_EQ(seeded.status, LpStatus::kOptimal);
+  ASSERT_EQ(bare.status, LpStatus::kOptimal);
+  EXPECT_LE(seeded.cut_rounds, bare.cut_rounds);
+}
+
+TEST(RoundingDeathTest, InvalidInputs) {
+  const Graph g = gen::Path(4);
+  const std::vector<double> short_weights(1, 0.5);
+  EXPECT_DEATH(GreedyDegreeBoundedForest(g, 2, short_weights),
+               "CHECK failed");
+  const std::vector<double> weights(g.NumEdges(), 0.5);
+  EXPECT_DEATH(GreedyDegreeBoundedForest(g, 0.5, weights), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

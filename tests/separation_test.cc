@@ -1,0 +1,178 @@
+// Tests for the Padberg–Wolsey-style separation oracle over constraints (5)
+// of Definition 3.1 and the cutting-plane driver.
+
+#include "core/forest_polytope.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+// Exhaustive violation check for small graphs.
+bool HasViolatedSubsetExhaustive(const Graph& g, const std::vector<double>& x,
+                                 double tol) {
+  const int n = g.NumVertices();
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    const int size = __builtin_popcountll(mask);
+    if (size < 2) continue;
+    double weight = 0.0;
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      const Edge& edge = g.EdgeAt(e);
+      if (((mask >> edge.u) & 1ULL) && ((mask >> edge.v) & 1ULL)) {
+        weight += x[e];
+      }
+    }
+    if (weight > size - 1.0 + tol) return true;
+  }
+  return false;
+}
+
+TEST(SeparationTest, DetectsOverloadedTriangle) {
+  const Graph g = gen::Cycle(3);
+  // x = 1 on every edge: x(E[S]) = 3 > |S| - 1 = 2 for the full set.
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const auto violations = FindViolatedSubtourSets(g, x, 1e-7, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].vertices.size(), 3u);
+  EXPECT_NEAR(violations[0].violation, 1.0, 1e-9);
+}
+
+TEST(SeparationTest, AcceptsFeasibleTriangle) {
+  const Graph g = gen::Cycle(3);
+  const std::vector<double> x = {0.6, 0.7, 0.7};  // sums to 2 = |S|-1
+  EXPECT_TRUE(FindViolatedSubtourSets(g, x, 1e-7, 0).empty());
+}
+
+TEST(SeparationTest, SpanningForestIndicatorIsFeasible) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::ErdosRenyi(15, 0.25, rng);
+    // Indicator of a BFS forest satisfies every subtour constraint.
+    std::vector<double> x(g.NumEdges(), 0.0);
+    const auto forest_edges = BfsSpanningForest(g).EdgeList();
+    for (const Edge& e : forest_edges) x[g.EdgeId(e.u, e.v)] = 1.0;
+    EXPECT_TRUE(FindViolatedSubtourSets(g, x, 1e-7, 0).empty())
+        << "trial=" << trial;
+  }
+}
+
+TEST(SeparationTest, FindsHiddenDenseSubset) {
+  // A K4 hidden inside a sparse graph, with uniform weight 0.55 on K4 edges:
+  // x(E[K4]) = 3.3 > 3.
+  Graph g(8, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+              {4, 5}, {5, 6}, {6, 7}});
+  std::vector<double> x(g.NumEdges(), 0.0);
+  for (int e = 0; e < 6; ++e) x[e] = 0.55;
+  const auto violations = FindViolatedSubtourSets(g, x, 1e-7, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].vertices, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_NEAR(violations[0].violation, 0.3, 1e-9);
+}
+
+TEST(SeparationTest, AgreesWithExhaustiveOnRandomWeights) {
+  Rng rng(565);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gen::ErdosRenyi(9, 0.35, rng);
+    std::vector<double> x(g.NumEdges());
+    for (double& w : x) w = rng.NextDouble();
+    const bool oracle =
+        !FindViolatedSubtourSets(g, x, 1e-7, 0).empty();
+    const bool exhaustive = HasViolatedSubsetExhaustive(g, x, 1e-7);
+    EXPECT_EQ(oracle, exhaustive) << "trial=" << trial;
+  }
+}
+
+TEST(SeparationTest, ReportedViolationsAreReal) {
+  Rng rng(566);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(10, 0.4, rng);
+    std::vector<double> x(g.NumEdges());
+    for (double& w : x) w = rng.NextDouble() * 1.2;
+    for (const SubtourViolation& violation :
+         FindViolatedSubtourSets(g, x, 1e-7, 0)) {
+      double weight = 0.0;
+      std::vector<bool> in_s(g.NumVertices(), false);
+      for (int v : violation.vertices) in_s[v] = true;
+      for (int e = 0; e < g.NumEdges(); ++e) {
+        if (in_s[g.EdgeAt(e).u] && in_s[g.EdgeAt(e).v]) weight += x[e];
+      }
+      EXPECT_NEAR(weight - (violation.vertices.size() - 1.0),
+                  violation.violation, 1e-9);
+      EXPECT_GT(violation.violation, 1e-7);
+    }
+  }
+}
+
+TEST(SeparationTest, MaxSetsLimitsOutput) {
+  const Graph g = gen::Complete(6);
+  std::vector<double> x(g.NumEdges(), 1.0);
+  const auto limited = FindViolatedSubtourSets(g, x, 1e-7, 2);
+  EXPECT_LE(limited.size(), 2u);
+  ASSERT_FALSE(limited.empty());
+}
+
+TEST(CuttingPlaneTest, ConvergesOnDenseGraphs) {
+  // K8 at large Δ: f_Δ = f_sf = 7. With all shortcuts on this resolves in
+  // round one (structural component cut + primal rounding certificate).
+  const Graph g = gen::Complete(8);
+  const ForestPolytopeResult result = MaximizeOverForestPolytope(g, 7.0);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.value, 7.0, 1e-5);
+  EXPECT_EQ(result.cuts_added, 0);  // shortcuts prevent any oracle rounds
+
+  // With the shortcuts disabled the oracle must genuinely cut its way to
+  // the same optimum.
+  ForestPolytopeOptions bare;
+  bare.use_support_heuristic = false;
+  bare.seed_structural_cuts = false;
+  const ForestPolytopeResult hard = MaximizeOverForestPolytope(g, 7.0, bare);
+  ASSERT_EQ(hard.status, LpStatus::kOptimal);
+  EXPECT_NEAR(hard.value, 7.0, 1e-5);
+  EXPECT_GT(hard.cuts_added, 0);
+}
+
+TEST(CuttingPlaneTest, SolutionIsFeasibleForFullPolytope) {
+  Rng rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::ErdosRenyi(10, 0.35, rng);
+    const ForestPolytopeResult result = MaximizeOverForestPolytope(g, 2.0);
+    ASSERT_EQ(result.status, LpStatus::kOptimal);
+    // The returned x satisfies every subset constraint (exhaustive check)
+    // and the degree constraints.
+    EXPECT_FALSE(HasViolatedSubsetExhaustive(g, result.x, 1e-5));
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      double incident = 0.0;
+      for (int e : g.IncidentEdgeIds(v)) incident += result.x[e];
+      EXPECT_LE(incident, 2.0 + 1e-5);
+    }
+    for (double w : result.x) EXPECT_GE(w, -1e-7);
+  }
+}
+
+TEST(CuttingPlaneTest, RoundLimitReportsResourceExhaustion) {
+  const Graph g = gen::Complete(9);
+  ForestPolytopeOptions options;
+  options.max_cut_rounds = 1;  // cannot converge in one round on bare K9
+  options.max_cuts_per_round = 1;
+  options.use_support_heuristic = false;
+  options.seed_structural_cuts = false;
+  const ForestPolytopeResult result =
+      MaximizeOverForestPolytope(g, 8.0, options);
+  EXPECT_EQ(result.status, LpStatus::kIterationLimit);
+}
+
+TEST(CuttingPlaneTest, EdgelessGraphTrivial) {
+  const ForestPolytopeResult result =
+      MaximizeOverForestPolytope(gen::Empty(5), 3.0);
+  EXPECT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.value, 0.0);
+}
+
+}  // namespace
+}  // namespace nodedp

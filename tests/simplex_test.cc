@@ -1,0 +1,215 @@
+// Tests for the dense two-phase simplex solver.
+
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+TEST(SimplexTest, TrivialSingleVariable) {
+  // max x s.t. x <= 4.
+  LpProblem lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, 4.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, kTol);
+  EXPECT_NEAR(solution.x[0], 4.0, kTol);
+}
+
+TEST(SimplexTest, TwoVariableTextbook) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> optimum 36 at (2,6).
+  LpProblem lp(2);
+  lp.SetObjective(0, 3.0);
+  lp.SetObjective(1, 5.0);
+  lp.AddConstraint({{0, 1.0}}, 4.0);
+  lp.AddConstraint({{1, 2.0}}, 12.0);
+  lp.AddConstraint({{0, 3.0}, {1, 2.0}}, 18.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 36.0, kTol);
+  EXPECT_NEAR(solution.x[0], 2.0, kTol);
+  EXPECT_NEAR(solution.x[1], 6.0, kTol);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x + y with only x <= 1: y grows without bound.
+  LpProblem lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 1.0);
+  lp.AddConstraint({{0, 1.0}}, 1.0);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpProblem lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, -1.0);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsFeasibleViaPhaseOne) {
+  // max x subject to -x <= -2 (i.e. x >= 2) and x <= 5 -> optimum 5.
+  LpProblem lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{0, -1.0}}, -2.0);
+  lp.AddConstraint({{0, 1.0}}, 5.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, kTol);
+}
+
+TEST(SimplexTest, GreaterEqualBindingAtOptimum) {
+  // min-like shape: max -x s.t. x >= 3 (as -x <= -3) -> x = 3.
+  LpProblem lp(1);
+  lp.SetObjective(0, -1.0);
+  lp.AddConstraint({{0, -1.0}}, -3.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 3.0, kTol);
+  EXPECT_NEAR(solution.objective, -3.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // Classic Beale-type degeneracy; the solver must terminate (Bland
+  // fallback) with the correct optimum 0.05 at x4 = 1... Beale's example:
+  // max 0.75x1 - 150x2 + 0.02x3 - 6x4
+  //  s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+  //       0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+  //       x3 <= 1
+  // Optimum value 0.05.
+  LpProblem lp(4);
+  lp.SetObjective(0, 0.75);
+  lp.SetObjective(1, -150.0);
+  lp.SetObjective(2, 0.02);
+  lp.SetObjective(3, -6.0);
+  lp.AddConstraint({{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, 0.0);
+  lp.AddConstraint({{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, 0.0);
+  lp.AddConstraint({{2, 1.0}}, 1.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.05, 1e-6);
+}
+
+TEST(SimplexTest, DuplicateRowEntriesAreSummed) {
+  // x + x <= 4 means 2x <= 4.
+  LpProblem lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}, {0, 1.0}}, 4.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 2.0, kTol);
+}
+
+TEST(SimplexTest, DualValuesSatisfyStrongDuality) {
+  LpProblem lp(2);
+  lp.SetObjective(0, 3.0);
+  lp.SetObjective(1, 5.0);
+  lp.AddConstraint({{0, 1.0}}, 4.0);
+  lp.AddConstraint({{1, 2.0}}, 12.0);
+  lp.AddConstraint({{0, 3.0}, {1, 2.0}}, 18.0);
+  const LpSolution solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  double dual_objective = 0.0;
+  const double rhs[] = {4.0, 12.0, 18.0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(solution.duals[i], -kTol);
+    dual_objective += solution.duals[i] * rhs[i];
+  }
+  EXPECT_NEAR(dual_objective, solution.objective, 1e-6);
+}
+
+TEST(SimplexTest, IterationLimitReported) {
+  LpProblem lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, 10.0);
+  SimplexOptions options;
+  options.max_iterations = 0;  // auto is plenty
+  EXPECT_EQ(SolveLp(lp, options).status, LpStatus::kOptimal);
+  // Note: a hard limit of 1 below cannot even complete the first pivot
+  // sequence on a problem that needs 1+ pivots... it may still succeed in
+  // one pivot; use a problem needing two.
+  LpProblem lp2(2);
+  lp2.SetObjective(0, 3.0);
+  lp2.SetObjective(1, 5.0);
+  lp2.AddConstraint({{0, 1.0}}, 4.0);
+  lp2.AddConstraint({{1, 2.0}}, 12.0);
+  lp2.AddConstraint({{0, 3.0}, {1, 2.0}}, 18.0);
+  SimplexOptions tight;
+  tight.max_iterations = 1;
+  EXPECT_EQ(SolveLp(lp2, tight).status, LpStatus::kIterationLimit);
+}
+
+TEST(SimplexTest, RandomLpsAgainstBruteForceVertexEnumeration) {
+  // For random 2-variable LPs, compare against brute-force over constraint
+  // intersections (vertices of the feasible polygon).
+  Rng rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    LpProblem lp(2);
+    const double c0 = rng.NextDouble() * 4 - 2;
+    const double c1 = rng.NextDouble() * 4 - 2;
+    lp.SetObjective(0, c0);
+    lp.SetObjective(1, c1);
+    std::vector<std::array<double, 3>> rows;
+    rows.push_back({1.0, 0.0, 1.0 + 3.0 * rng.NextDouble()});  // x <= b
+    rows.push_back({0.0, 1.0, 1.0 + 3.0 * rng.NextDouble()});  // y <= b
+    for (int extra = 0; extra < 3; ++extra) {
+      rows.push_back({rng.NextDouble() * 2, rng.NextDouble() * 2,
+                      1.0 + 4.0 * rng.NextDouble()});
+    }
+    for (const auto& row : rows) {
+      lp.AddConstraint({{0, row[0]}, {1, row[1]}}, row[2]);
+    }
+    const LpSolution solution = SolveLp(lp);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << trial;
+
+    // Brute force: candidate vertices = axis intersections + pairwise
+    // constraint intersections, filtered for feasibility.
+    std::vector<std::pair<double, double>> candidates = {{0.0, 0.0}};
+    auto add_axis = [&](const std::array<double, 3>& row) {
+      if (row[0] > 1e-9) candidates.push_back({row[2] / row[0], 0.0});
+      if (row[1] > 1e-9) candidates.push_back({0.0, row[2] / row[1]});
+    };
+    for (const auto& row : rows) add_axis(row);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        const double det = rows[i][0] * rows[j][1] - rows[i][1] * rows[j][0];
+        if (std::fabs(det) < 1e-9) continue;
+        const double x =
+            (rows[i][2] * rows[j][1] - rows[i][1] * rows[j][2]) / det;
+        const double y =
+            (rows[i][0] * rows[j][2] - rows[i][2] * rows[j][0]) / det;
+        candidates.push_back({x, y});
+      }
+    }
+    double best = 0.0;  // origin is always feasible here (rhs > 0)
+    for (const auto& [x, y] : candidates) {
+      if (x < -1e-9 || y < -1e-9) continue;
+      bool feasible = true;
+      for (const auto& row : rows) {
+        if (row[0] * x + row[1] * y > row[2] + 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) best = std::max(best, c0 * x + c1 * y);
+    }
+    EXPECT_NEAR(solution.objective, best, 1e-6) << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,141 @@
+// Tests for the induced star number s(G) (graph/star.h).
+
+#include "graph/star.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+// Exhaustive s(G) for tiny graphs: try every center and every subset of its
+// neighborhood.
+int StarNumberExhaustive(const Graph& g) {
+  int best = 0;
+  for (int center = 0; center < g.NumVertices(); ++center) {
+    const auto& nbrs = g.Neighbors(center);
+    const int k = static_cast<int>(nbrs.size());
+    for (uint64_t mask = 1; mask < (1ULL << k); ++mask) {
+      bool independent = true;
+      for (int i = 0; i < k && independent; ++i) {
+        if (!((mask >> i) & 1ULL)) continue;
+        for (int j = i + 1; j < k && independent; ++j) {
+          if (!((mask >> j) & 1ULL)) continue;
+          if (g.HasEdge(nbrs[i], nbrs[j])) independent = false;
+        }
+      }
+      if (independent) {
+        best = std::max(best, __builtin_popcountll(mask));
+      }
+    }
+  }
+  return best;
+}
+
+TEST(StarTest, EdgelessGraphHasStarNumberZero) {
+  const StarNumberResult result = InducedStarNumber(gen::Empty(5));
+  EXPECT_EQ(result.value, 0);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.center, -1);
+}
+
+TEST(StarTest, SingleEdge) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_EQ(InducedStarNumber(g).value, 1);
+}
+
+TEST(StarTest, StarGraphValue) {
+  for (int leaves : {1, 3, 7}) {
+    const Graph g = gen::Star(leaves);
+    const StarNumberResult result = InducedStarNumber(g);
+    EXPECT_EQ(result.value, leaves);
+    EXPECT_EQ(result.center, 0);
+    EXPECT_TRUE(result.exact);
+  }
+}
+
+TEST(StarTest, CliqueHasNoInducedTwoStar) {
+  // In K_n every two neighbors are adjacent: s = 1.
+  for (int n : {2, 4, 6}) {
+    EXPECT_EQ(InducedStarNumber(gen::Complete(n)).value, 1) << n;
+  }
+}
+
+TEST(StarTest, PathAndCycle) {
+  // Interior path vertices have two non-adjacent neighbors: s = 2.
+  EXPECT_EQ(InducedStarNumber(gen::Path(5)).value, 2);
+  EXPECT_EQ(InducedStarNumber(gen::Cycle(6)).value, 2);
+  // Triangle = K3: s = 1.
+  EXPECT_EQ(InducedStarNumber(gen::Cycle(3)).value, 1);
+}
+
+TEST(StarTest, GridHasStarNumberFour) {
+  // Interior grid vertices have 4 pairwise non-adjacent neighbors.
+  EXPECT_EQ(InducedStarNumber(gen::Grid(4, 4)).value, 4);
+}
+
+TEST(StarTest, CaterpillarStarNumber) {
+  // Spine vertex: legs + up to 2 spine neighbors, all pairwise non-adjacent.
+  EXPECT_EQ(InducedStarNumber(gen::Caterpillar(5, 3)).value, 5);
+}
+
+TEST(StarTest, MatchesExhaustiveOnRandomGraphs) {
+  Rng rng(314);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextUint64(5));
+    const double p = 0.1 + 0.15 * static_cast<double>(rng.NextUint64(5));
+    const Graph g = gen::ErdosRenyi(n, p, rng);
+    const StarNumberResult result = InducedStarNumber(g);
+    ASSERT_TRUE(result.exact);
+    EXPECT_EQ(result.value, StarNumberExhaustive(g))
+        << "trial=" << trial << " n=" << n << " p=" << p;
+  }
+}
+
+TEST(StarTest, PerCenterValue) {
+  const Graph g = gen::Star(4);
+  EXPECT_EQ(InducedStarNumberAt(g, 0).value, 4);
+  EXPECT_EQ(InducedStarNumberAt(g, 1).value, 1);
+}
+
+TEST(StarTest, GreedyIsValidLowerBound) {
+  Rng rng(1717);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.3, rng);
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_LE(GreedyInducedStarAt(g, v), InducedStarNumberAt(g, v).value);
+    }
+  }
+}
+
+TEST(StarTest, WorkLimitYieldsLowerBound) {
+  // With an absurdly small budget the result must be marked inexact but
+  // still be a valid lower bound.
+  Rng rng(99);
+  const Graph g = gen::ErdosRenyi(20, 0.4, rng);
+  StarNumberOptions tiny;
+  tiny.work_limit = 1;
+  const StarNumberResult limited = InducedStarNumber(g, tiny);
+  const StarNumberResult full = InducedStarNumber(g);
+  ASSERT_TRUE(full.exact);
+  EXPECT_FALSE(limited.exact);
+  EXPECT_LE(limited.value, full.value);
+}
+
+TEST(StarTest, GeometricGraphsHaveNoSixStars) {
+  // Section 1.1.4: six points in the unit disk cannot be pairwise more than
+  // the radius apart, so random geometric graphs have s(G) <= 5.
+  Rng rng(2023);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::RandomGeometric(150, 0.15, rng);
+    const StarNumberResult result = InducedStarNumber(g);
+    ASSERT_TRUE(result.exact);
+    EXPECT_LE(result.value, 5) << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace nodedp

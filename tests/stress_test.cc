@@ -1,0 +1,118 @@
+// Randomized cross-validation at higher volume than the per-module tests:
+// every independent implementation pair in the repo is checked against each
+// other across hundreds of seeded draws. These tests are the safety net for
+// refactors of the LP/separation/repair machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/down_sensitivity.h"
+#include "core/forest_polytope.h"
+#include "core/lipschitz_extension.h"
+#include "core/min_degree_forest.h"
+#include "core/repair.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/star.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+class StressTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, CuttingPlaneVsExhaustiveLp) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int draw = 0; draw < 6; ++draw) {
+    const int n = 4 + static_cast<int>(rng.NextUint64(6));  // 4..9
+    const double p = 0.1 + 0.08 * static_cast<double>(rng.NextUint64(8));
+    const Graph g = gen::ErdosRenyi(n, p, rng);
+    const double delta = 1.0 + static_cast<double>(rng.NextUint64(3));
+    const ForestPolytopeResult exhaustive =
+        MaximizeOverForestPolytopeExhaustive(g, delta);
+    ASSERT_EQ(exhaustive.status, LpStatus::kOptimal);
+    ExtensionOptions lp_only;
+    lp_only.use_repair_fast_path = false;
+    EXPECT_NEAR(LipschitzExtensionValue(g, delta, lp_only),
+                exhaustive.value, 1e-5)
+        << "seed=" << GetParam() << " draw=" << draw << " n=" << n
+        << " delta=" << delta;
+  }
+}
+
+TEST_P(StressTest, RepairAgreesWithExactDecision) {
+  Rng rng(GetParam() * 104729 + 7);
+  for (int draw = 0; draw < 6; ++draw) {
+    const int n = 5 + static_cast<int>(rng.NextUint64(5));
+    const Graph g = gen::ErdosRenyi(n, 0.3, rng);
+    if (g.NumEdges() == 0) continue;
+    for (int delta = 1; delta <= 4; ++delta) {
+      const auto repaired = RepairSpanningForest(g, delta);
+      if (repaired.has_value()) {
+        // Soundness against the exact decision procedure.
+        EXPECT_TRUE(HasSpanningForestOfDegree(g, delta).value());
+        EXPECT_TRUE(repaired->IsSpanningForestOf(g));
+        EXPECT_LE(repaired->MaxDegree(), delta);
+      } else {
+        // Failure certifies an induced delta-star (Lemma 1.8).
+        EXPECT_GE(InducedStarNumber(g).value, delta);
+      }
+    }
+  }
+}
+
+TEST_P(StressTest, StarNumberMonotoneUnderSubgraphs) {
+  Rng rng(GetParam() * 31337 + 3);
+  const Graph g = gen::ErdosRenyi(11, 0.35, rng);
+  const int s_whole = InducedStarNumber(g).value;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    const Graph h = RemoveVertex(g, v);
+    EXPECT_LE(InducedStarNumber(h).value, s_whole) << "v=" << v;
+  }
+}
+
+TEST_P(StressTest, ExtensionDeletionLipschitz) {
+  // The Lipschitz property in the deletion direction: removing any single
+  // vertex changes f_Δ by at most Δ (and never increases it).
+  Rng rng(GetParam() * 271 + 5);
+  const Graph g = gen::ErdosRenyi(9, 0.35, rng);
+  for (double delta : {1.0, 2.0}) {
+    const double whole = LipschitzExtensionValue(g, delta);
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      const double sub = LipschitzExtensionValue(RemoveVertex(g, v), delta);
+      EXPECT_LE(sub, whole + 1e-6);
+      EXPECT_GE(sub, whole - delta - 1e-6);
+    }
+  }
+}
+
+TEST_P(StressTest, DownSensitivityTriangleOfIdentities) {
+  // DS_fsf = s(G) (Lemma 1.7), |DS_fsf - DS_fcc| <= 1, Δ* <= s + 1
+  // (Lemma 1.6) — all three on one draw.
+  Rng rng(GetParam() * 17 + 1);
+  const int n = 5 + static_cast<int>(rng.NextUint64(4));
+  const Graph g = gen::ErdosRenyi(n, 0.35, rng);
+  const double ds_sf = DownSensitivityBruteForce(g, [](const Graph& h) {
+    return static_cast<double>(SpanningForestSize(h));
+  });
+  const double ds_cc = DownSensitivityBruteForce(g, [](const Graph& h) {
+    return static_cast<double>(CountConnectedComponents(h));
+  });
+  const StarNumberResult s = InducedStarNumber(g);
+  ASSERT_TRUE(s.exact);
+  EXPECT_EQ(ds_sf, static_cast<double>(s.value));
+  EXPECT_LE(std::fabs(ds_sf - ds_cc), 1.0);
+  if (g.NumEdges() > 0) {
+    const auto delta_star = MinMaxDegreeSpanningForestExact(g);
+    ASSERT_TRUE(delta_star.has_value());
+    EXPECT_LE(*delta_star, s.value + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,103 @@
+// Tests for induced subgraphs, vertex insertion/removal, and masks.
+
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(SubgraphTest, InduceKeepsInternalEdges) {
+  const Graph g = gen::Complete(5);
+  const InducedSubgraph sub = Induce(g, {1, 3, 4});
+  EXPECT_EQ(sub.graph.NumVertices(), 3);
+  EXPECT_EQ(sub.graph.NumEdges(), 3);  // triangle
+  EXPECT_EQ(sub.original_vertex, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(SubgraphTest, InduceDropsCrossingEdges) {
+  const Graph g = gen::Path(5);  // 0-1-2-3-4
+  const InducedSubgraph sub = Induce(g, {0, 2, 4});
+  EXPECT_EQ(sub.graph.NumEdges(), 0);
+}
+
+TEST(SubgraphTest, InduceEmptySet) {
+  const Graph g = gen::Path(3);
+  const InducedSubgraph sub = Induce(g, {});
+  EXPECT_EQ(sub.graph.NumVertices(), 0);
+  EXPECT_EQ(sub.graph.NumEdges(), 0);
+}
+
+TEST(SubgraphTest, RemoveVertexShiftsLabels) {
+  const Graph g = gen::Path(4);  // 0-1-2-3
+  const Graph h = RemoveVertex(g, 1);
+  EXPECT_EQ(h.NumVertices(), 3);
+  // Vertices 2, 3 become 1, 2; remaining edge 2-3 becomes 1-2.
+  EXPECT_EQ(h.NumEdges(), 1);
+  EXPECT_TRUE(h.HasEdge(1, 2));
+  EXPECT_EQ(CountConnectedComponents(h), 2);
+}
+
+TEST(SubgraphTest, AddVertexCreatesNodeNeighbor) {
+  const Graph g = gen::Empty(3);
+  const Graph g_prime = AddVertex(g, {0, 1, 2});
+  EXPECT_EQ(g_prime.NumVertices(), 4);
+  EXPECT_EQ(g_prime.NumEdges(), 3);
+  EXPECT_EQ(CountConnectedComponents(g_prime), 1);
+  // Removing the new vertex recovers the original.
+  const Graph back = RemoveVertex(g_prime, 3);
+  EXPECT_EQ(back.NumVertices(), 3);
+  EXPECT_EQ(back.NumEdges(), 0);
+}
+
+TEST(SubgraphTest, AddVertexWithNoEdgesIsIsolated) {
+  const Graph g = gen::Path(3);
+  const Graph g_prime = AddVertex(g, {});
+  EXPECT_EQ(CountConnectedComponents(g_prime),
+            CountConnectedComponents(g) + 1);
+}
+
+TEST(SubgraphTest, InduceByMaskMatchesExplicitList) {
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(10, 0.4, rng);
+  const uint64_t mask = 0b1011001101ULL;
+  const InducedSubgraph by_mask = InduceByMask(g, mask);
+  std::vector<int> vertices;
+  for (int v = 0; v < 10; ++v) {
+    if ((mask >> v) & 1ULL) vertices.push_back(v);
+  }
+  const InducedSubgraph by_list = Induce(g, vertices);
+  EXPECT_EQ(by_mask.graph.NumVertices(), by_list.graph.NumVertices());
+  EXPECT_EQ(by_mask.graph.Edges(), by_list.graph.Edges());
+  EXPECT_EQ(by_mask.original_vertex, by_list.original_vertex);
+}
+
+TEST(SubgraphTest, MonotonicityOfSpanningForestUnderInsertion) {
+  // f_sf is monotone nondecreasing under node insertion (Section 1.1).
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(12, 0.2, rng);
+    std::vector<int> neighbors;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (rng.NextBernoulli(0.4)) neighbors.push_back(v);
+    }
+    const Graph g_prime = AddVertex(g, neighbors);
+    EXPECT_GE(SpanningForestSize(g_prime), SpanningForestSize(g));
+    // And it grows by at most... |neighbors| when adding a vertex? It grows
+    // by exactly the number of components merged, at most deg of new vertex.
+    EXPECT_LE(SpanningForestSize(g_prime),
+              SpanningForestSize(g) + std::max<size_t>(1, neighbors.size()));
+  }
+}
+
+TEST(SubgraphDeathTest, DuplicateVertexRejected) {
+  const Graph g = gen::Path(3);
+  EXPECT_DEATH(Induce(g, {1, 1}), "duplicate vertex");
+}
+
+}  // namespace
+}  // namespace nodedp

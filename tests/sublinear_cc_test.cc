@@ -1,0 +1,92 @@
+// Tests for the sublinear (non-private) component-count estimator.
+
+#include "core/sublinear_cc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/stats.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(SublinearCcTest, ExactOnSmallComponentsWithFullSampling) {
+  // With cutoff above every component size the estimator is unbiased; with
+  // many samples it concentrates near the truth.
+  Rng rng(1600);
+  const Graph g = gen::CliqueUnion({3, 3, 3, 2, 1});
+  const double truth = CountConnectedComponents(g);
+  SublinearCcOptions options;
+  options.num_samples = 20000;
+  options.bfs_cutoff = 10;
+  const auto estimate = SublinearConnectedComponents(g, rng, options);
+  EXPECT_NEAR(estimate.estimate, truth, truth * 0.1);
+}
+
+TEST(SublinearCcTest, EmptyAndEdgelessGraphs) {
+  Rng rng(1601);
+  EXPECT_EQ(SublinearConnectedComponents(Graph(), rng).estimate, 0.0);
+  // Edgeless: every component has size 1 -> exact regardless of sampling.
+  const auto estimate = SublinearConnectedComponents(gen::Empty(50), rng);
+  EXPECT_NEAR(estimate.estimate, 50.0, 1e-9);
+}
+
+TEST(SublinearCcTest, TruncationBiasIsDownwardAndBounded) {
+  // One giant component + many singletons: truncation drops the giant's
+  // contribution (bias at most ~n/cutoff), never overestimates on average.
+  Rng rng(1602);
+  const Graph g = gen::DisjointUnion({gen::Path(200), gen::Empty(100)});
+  const double truth = CountConnectedComponents(g);  // 101
+  SublinearCcOptions options;
+  options.num_samples = 5000;
+  options.bfs_cutoff = 16;
+  const auto estimate = SublinearConnectedComponents(g, rng, options);
+  EXPECT_LE(estimate.estimate, truth + 8.0);
+  EXPECT_GE(estimate.estimate, truth - 300.0 / options.bfs_cutoff - 8.0);
+}
+
+TEST(SublinearCcTest, ErrorShrinksWithSamples) {
+  Rng rng(1603);
+  const Graph g = gen::RandomEntityGraph(150, 4, rng);
+  const double truth = CountConnectedComponents(g);
+  auto mean_abs = [&](int samples) {
+    SublinearCcOptions options;
+    options.num_samples = samples;
+    options.bfs_cutoff = 8;
+    std::vector<double> errors;
+    for (int t = 0; t < 40; ++t) {
+      errors.push_back(
+          SublinearConnectedComponents(g, rng, options).estimate - truth);
+    }
+    return SummarizeErrors(errors).mean_abs;
+  };
+  EXPECT_LT(mean_abs(2048), mean_abs(32));
+}
+
+TEST(SublinearCcTest, ReportsWorkDone) {
+  Rng rng(1604);
+  const Graph g = gen::Path(100);
+  SublinearCcOptions options;
+  options.num_samples = 10;
+  options.bfs_cutoff = 5;
+  const auto estimate = SublinearConnectedComponents(g, rng, options);
+  EXPECT_GT(estimate.vertices_visited, 0);
+  // Truncation caps per-sample BFS work near the cutoff.
+  EXPECT_LE(estimate.vertices_visited, options.num_samples *
+                                           (options.bfs_cutoff + 1));
+}
+
+TEST(SublinearCcDeathTest, InvalidOptions) {
+  Rng rng(1);
+  SublinearCcOptions bad;
+  bad.num_samples = 0;
+  EXPECT_DEATH(SublinearConnectedComponents(gen::Path(3), rng, bad),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,54 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace nodedp {
+namespace {
+
+TEST(UnionFindTest, StartsAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.NumSets(), 4);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.NumSets(), 3);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, NumSetsExactAfterChain) {
+  UnionFind uf(10);
+  for (int i = 0; i + 1 < 10; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.NumSets(), 1);
+  EXPECT_EQ(uf.SetSize(0), 10);
+}
+
+TEST(UnionFindTest, ZeroElements) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.NumSets(), 0);
+}
+
+TEST(UnionFindTest, TransitivityRandomized) {
+  // Union in star pattern; all connected to 0.
+  UnionFind uf(50);
+  for (int i = 1; i < 50; ++i) uf.Union(0, i);
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_TRUE(uf.Connected(i, (i * 7) % 50));
+  }
+  EXPECT_EQ(uf.NumSets(), 1);
+}
+
+}  // namespace
+}  // namespace nodedp

@@ -1,0 +1,86 @@
+// Tests for Win's decomposition (Lemma 5.1).
+
+#include "core/win_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/min_degree_forest.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+TEST(WinDecompositionTest, StarBaseCase) {
+  // (Δ+1)-star: S = the whole star (has a spanning (Δ+1 >= Δ)-tree? No —
+  // the star's only spanning tree has degree Δ+1 > Δ). The decomposition
+  // here must pick a sub-star: S = center + Δ leaves? That S has spanning
+  // tree of degree Δ (it IS a Δ-star). X = {center}: S \ X = Δ isolated
+  // leaves, f_cc = Δ >= 1·(Δ-2) + 2 = Δ. Condition (2): edges from outside
+  // S (the remaining leaf) must only touch X — true, leaves touch only the
+  // center. So a decomposition exists; the search must find one.
+  for (int delta : {2, 3, 4}) {
+    const Graph g = gen::Star(delta + 1);
+    const auto decomposition = FindWinDecomposition(g, delta);
+    ASSERT_TRUE(decomposition.has_value()) << "delta=" << delta;
+    EXPECT_TRUE(IsWinDecomposition(g, delta, decomposition->s_vertices,
+                                   decomposition->x_vertices));
+  }
+}
+
+TEST(WinDecompositionTest, ValidatorRejectsBadCandidates) {
+  const Graph g = gen::Star(4);  // center 0, leaves 1..4
+  // X not inside S.
+  EXPECT_FALSE(IsWinDecomposition(g, 3, {0, 1, 2}, {4}));
+  // X = V(S) (not a proper subset).
+  EXPECT_FALSE(IsWinDecomposition(g, 3, {0, 1}, {0, 1}));
+  // S disconnected (two leaves): no spanning tree.
+  EXPECT_FALSE(IsWinDecomposition(g, 3, {1, 2}, {}));
+  // Correct candidate: S = {0,1,2,3} (3-star), X = {0}.
+  EXPECT_TRUE(IsWinDecomposition(g, 3, {0, 1, 2, 3}, {0}));
+}
+
+TEST(WinDecompositionTest, Lemma51OnRandomGraphsWithoutDeltaForest) {
+  // Whenever G has no spanning Δ-forest (Δ >= 2), a decomposition exists.
+  Rng rng(909);
+  int exercised = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextUint64(4));  // 5..8
+    const Graph g = gen::ErdosRenyi(n, 0.4, rng);
+    if (g.NumEdges() == 0) continue;
+    for (int delta : {2, 3}) {
+      const auto has = HasSpanningForestOfDegree(g, delta);
+      ASSERT_TRUE(has.has_value());
+      if (*has) continue;  // lemma precondition not met
+      ++exercised;
+      const auto decomposition = FindWinDecomposition(g, delta);
+      ASSERT_TRUE(decomposition.has_value())
+          << "trial=" << trial << " delta=" << delta;
+      EXPECT_TRUE(IsWinDecomposition(g, delta, decomposition->s_vertices,
+                                     decomposition->x_vertices));
+    }
+  }
+  EXPECT_GT(exercised, 3);
+}
+
+TEST(WinDecompositionTest, NoFalsePositivesRequired) {
+  // Lemma 5.1 is one-directional; graphs WITH spanning Δ-forests may or may
+  // not admit the decomposition. We only assert the validator agrees with
+  // itself: anything the finder returns must validate.
+  Rng rng(910);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::ErdosRenyi(7, 0.3, rng);
+    const auto decomposition = FindWinDecomposition(g, 2);
+    if (decomposition.has_value()) {
+      EXPECT_TRUE(IsWinDecomposition(g, 2, decomposition->s_vertices,
+                                     decomposition->x_vertices));
+    }
+  }
+}
+
+TEST(WinDecompositionDeathTest, RequiresDeltaAtLeastTwo) {
+  EXPECT_DEATH(FindWinDecomposition(gen::Path(3), 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace nodedp
