@@ -1,5 +1,6 @@
 // A2 — ablation of the evaluator engineering (exactness-preserving
-// optimizations from DESIGN.md): repair/local-search fast path, component
+// optimizations, docs/DESIGN_NOTES.md §1): repair/local-search fast path,
+// component
 // decomposition, support-component heuristic separation, and the shared
 // cut pool. All four must leave every value unchanged; the table reports
 // the speedups and verifies value equality on each workload.

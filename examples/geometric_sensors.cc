@@ -29,9 +29,9 @@
 int main() {
   using namespace nodedp;
 
-  const int n = 300;
+  const int n = 200;
   const double epsilon = 1.0;
-  const int trials = 15;
+  const int trials = 9;
 
   Table table({"radius", "edges", "true cc", "s(G)", "median est",
                "median|err|", "p90|err|"});

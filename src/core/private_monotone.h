@@ -11,7 +11,8 @@
 // 14) — exactly the role Appendix A plays in the paper (existence, not
 // efficiency).
 //
-// Deviation note (see DESIGN.md §7): the literal Lemma A.1 extension is not
+// Deviation note (see docs/DESIGN_NOTES.md §2): the literal Lemma A.1
+// extension is not
 // always an underestimate below the anchor threshold; the GEM scores are
 // computed from the literal definition q_Δ = |f̂_Δ(G) − f(G)| + Δ/ε either
 // way, which keeps the selection meaningful.

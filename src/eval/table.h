@@ -1,6 +1,8 @@
-// Fixed-width console tables for the experiment binaries: every bench prints
-// the paper-style series (one row per sweep point) through this printer, so
-// all experiment output is uniformly formatted and machine-greppable.
+// Fixed-width console tables for the experiment binaries: the experiment
+// benches and examples print their paper-style series (one row per sweep
+// point) through this printer, so that output is uniformly formatted and
+// machine-greppable. (The one exception is bench_perf_substrates, which
+// reports through Google Benchmark instead.)
 
 #ifndef NODEDP_EVAL_TABLE_H_
 #define NODEDP_EVAL_TABLE_H_

@@ -92,7 +92,8 @@ class GraphBuilder {
 
   // Adds an undirected edge; returns false if it was already present or is a
   // self-loop (self-loops are rejected, not CHECKed, so randomized
-  // generators can call this unconditionally).
+  // generators can call this unconditionally). Out-of-range endpoints, by
+  // contrast, are programmer errors and CHECK-fail.
   bool AddEdge(int u, int v);
 
   // Appends a fresh isolated vertex and returns its id.

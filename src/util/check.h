@@ -14,18 +14,29 @@
 namespace nodedp {
 namespace internal_check {
 
+// Marks the failure path noinline/cold (where the compiler supports it) so
+// CHECK call sites stay cheap: the hot path is a single predicted branch.
+#if defined(__GNUC__) || defined(__clang__)
+#define NODEDP_INTERNAL_NOINLINE_COLD __attribute__((noinline, cold))
+#else
+#define NODEDP_INTERNAL_NOINLINE_COLD
+#endif
+
 // Aborts the process after printing `file:line: condition` and an optional
-// user-supplied message. Marked noinline/cold to keep CHECK call sites cheap.
-[[noreturn]] inline void CheckFail(const char* file, int line,
-                                   const char* condition,
-                                   const std::string& message) {
+// user-supplied message.
+[[noreturn]] NODEDP_INTERNAL_NOINLINE_COLD inline void CheckFail(
+    const char* file, int line, const char* condition,
+    const std::string& message) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
                condition, message.empty() ? "" : " — ", message.c_str());
   std::abort();
 }
 
-// Stream-style message collector so call sites can write
-// `CHECK(x) << "context " << value;`-like messages via CHECK_MSG.
+// Stream-style message collector backing NODEDP_CHECK_MSG: the macro's
+// trailing arguments are chained through operator<<, so call sites write
+// `NODEDP_CHECK_MSG(x, "context " << value)`. (There is deliberately no
+// glog-style `CHECK(x) << ...` form; the message is an argument, not a
+// stream continuation.)
 class MessageBuilder {
  public:
   template <typename T>

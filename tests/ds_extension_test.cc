@@ -52,7 +52,8 @@ TEST(DsExtensionTest, UnderestimatesOnAnchoredGraphs) {
 }
 
 TEST(DsExtensionTest, PaperLemmaA1PropertiesCanFailBelowDownSensitivity) {
-  // DEVIATION NOTE (documented in DESIGN.md): for Δ < DS_f(G), the literal
+  // DEVIATION NOTE (documented in docs/DESIGN_NOTES.md §2): for
+  // Δ < DS_f(G), the literal
   // Lemma A.1 formula can overshoot f(G) and can decrease as Δ grows. This
   // deterministic 7-vertex Erdős–Rényi instance (the third draw at seed
   // 211) exhibits both: f_sf(G) = 6 yet f̂_2(G) = 7 > 6, while

@@ -78,6 +78,26 @@ TEST(GraphBuilderTest, AddEdgeRejectsDuplicatesAndLoops) {
   EXPECT_EQ(g.NumEdges(), 2);
 }
 
+TEST(GraphBuilderTest, AddEdgeRejectsSameOrientationDuplicate) {
+  GraphBuilder builder(2);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(0, 1));  // duplicate, same orientation
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphBuilderTest, SelfLoopRejectionDoesNotConsumeEdge) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.AddEdge(1, 1));
+  // The rejected self-loop must not block the later legitimate edge {1, 2}
+  // or leak into the built graph.
+  EXPECT_TRUE(builder.AddEdge(1, 2));
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
 TEST(GraphBuilderTest, AddVertexGrowsGraph) {
   GraphBuilder builder(1);
   const int v = builder.AddVertex();
@@ -88,12 +108,47 @@ TEST(GraphBuilderTest, AddVertexGrowsGraph) {
   EXPECT_TRUE(g.HasEdge(0, 1));
 }
 
+TEST(GraphBuilderTest, AddVertexFromEmptyBuilder) {
+  GraphBuilder builder(0);
+  EXPECT_EQ(builder.AddVertex(), 0);
+  EXPECT_EQ(builder.AddVertex(), 1);
+  EXPECT_EQ(builder.num_vertices(), 2);
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(GraphBuilderTest, IsolatedAddedVertexSurvivesBuild) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const int isolated = builder.AddVertex();
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.Degree(isolated), 0);
+  EXPECT_TRUE(g.Neighbors(isolated).empty());
+  EXPECT_TRUE(g.IncidentEdgeIds(isolated).empty());
+}
+
+TEST(GraphTest, EdgeIdOutOfRangeIsAbsent) {
+  Graph g(3, {{0, 1}});
+  EXPECT_EQ(g.EdgeId(-1, 1), -1);
+  EXPECT_EQ(g.EdgeId(0, 99), -1);
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 99));
+}
+
 TEST(GraphDeathTest, RejectsSelfLoop) {
   EXPECT_DEATH(Graph(3, {{1, 1}}), "self-loop");
 }
 
 TEST(GraphDeathTest, RejectsOutOfRangeEndpoint) {
   EXPECT_DEATH(Graph(3, {{0, 3}}), "CHECK failed");
+}
+
+TEST(GraphBuilderDeathTest, AddEdgeRejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 2), "CHECK failed");
+  EXPECT_DEATH(builder.AddEdge(-1, 0), "CHECK failed");
 }
 
 }  // namespace
