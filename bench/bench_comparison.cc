@@ -36,7 +36,8 @@ int main() {
   std::vector<Workload> workloads;
   workloads.push_back({"entity(300,4)", gen::RandomEntityGraph(300, 4, wrng)});
   workloads.push_back({"gnp(400,c=1)", gen::ErdosRenyi(400, 1.0 / 400, wrng)});
-  workloads.push_back({"geometric(300)", gen::RandomGeometric(300, 0.05, wrng)});
+  workloads.push_back(
+      {"geometric(300)", gen::RandomGeometric(300, 0.05, wrng)});
   workloads.push_back({"paths+isolated",
                        gen::DisjointUnion({gen::Path(150), gen::Empty(100),
                                            gen::Path(80)})});

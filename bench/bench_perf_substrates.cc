@@ -3,20 +3,29 @@
 // repair/local-search certificate, s(G), and end-to-end Algorithm 1.
 // These are the cost drivers behind every experiment table; regressions
 // here would silently blow up E1-E8 runtimes.
+//
+// Besides the console table, every run writes machine-readable JSON (the
+// BENCH_perf_substrates.json CI artifact; see src/eval/json_report.h) via a
+// custom reporter in main() below. The *Threads benchmarks sweep explicit
+// pool widths, so one run measures the parallel substrate's scaling.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "core/degree_improve.h"
 #include "core/extension_family.h"
 #include "core/forest_polytope.h"
 #include "core/private_cc.h"
+#include "dp/gem.h"
+#include "eval/json_report.h"
 #include "flow/dinic.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/star.h"
 #include "lp/simplex.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace {
@@ -131,6 +140,145 @@ void BM_Algorithm1CachedFamily(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm1CachedFamily)->Arg(64)->Arg(128)->Arg(256);
 
+// --------------------------------------------------------------------------
+// Thread sweeps: the same work at explicit pool widths. Speedup at width t
+// is real_ns(X/n/1) / real_ns(X/n/t) for the same n.
+// --------------------------------------------------------------------------
+
+// The exact separation oracle — one min-cut per root, parallelized across
+// roots (the inner loop of every cutting-plane round).
+void BM_SeparationOracleThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(n, 3.0 / n, rng);
+  std::vector<double> x(g.NumEdges());
+  for (double& w : x) w = rng.NextDouble();
+  ThreadPool pool(threads);
+  ScopedThreadPool scope(&pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindViolatedSubtourSets(g, x, 1e-7, 0));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SeparationOracleThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4});
+
+// The Algorithm 4 grid sweep on a cold family — every unsettled Δ cell is an
+// independent cutting-plane solve (the tentpole's widest loop).
+void BM_GridSweepThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Rng wrng(7);
+  const Graph g = gen::ErdosRenyi(n, 2.0 / n, wrng);
+  const std::vector<int> grid = PowersOfTwoGrid(n);
+  const std::vector<double> deltas(grid.begin(), grid.end());
+  ThreadPool pool(threads);
+  ScopedThreadPool scope(&pool);
+  for (auto _ : state) {
+    ExtensionFamily family(g);
+    benchmark::DoNotOptimize(family.Values(deltas));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_GridSweepThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4});
+
+// Batched serving: many independent (graph, ε) releases per call.
+void BM_ReleaseBatchThreads(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Rng wrng(11);
+  std::vector<Graph> graphs;
+  graphs.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    graphs.push_back(gen::ErdosRenyi(48, 2.0 / 48, wrng));
+  }
+  std::vector<ReleaseQuery> queries;
+  queries.reserve(batch);
+  for (const Graph& g : graphs) queries.push_back(ReleaseQuery{&g, 1.0});
+  ThreadPool pool(threads);
+  ScopedThreadPool scope(&pool);
+  Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReleaseBatch(queries, rng));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ReleaseBatchThreads)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4});
+
+// A console reporter that also feeds every finished run into the JSON
+// report. Subclassing the display reporter (rather than using the
+// file-reporter slot) sidesteps Google Benchmark's insistence on
+// --benchmark_out for custom file reporters. Only raw iteration runs are
+// recorded (no aggregates), and the fields used here exist in every Google
+// Benchmark release the distros ship, so the reporter builds against old
+// and new APIs alike.
+class JsonRunCollector : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRunCollector(JsonReport* report) : report_(report) {}
+
+  bool ReportContext(const Context& context) override {
+    report_->SetContext("benchmark_cpus",
+                        std::to_string(context.cpu_info.num_cpus));
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.iterations <= 0) continue;
+      BenchRecord record;
+      record.name = run.benchmark_name();
+      record.iterations = static_cast<long long>(run.iterations);
+      // Accumulated times are seconds; normalize to ns per iteration.
+      const double iterations = static_cast<double>(run.iterations);
+      record.real_ns = run.real_accumulated_time * 1e9 / iterations;
+      record.cpu_ns = run.cpu_accumulated_time * 1e9 / iterations;
+      for (const auto& counter : run.counters) {
+        record.counters.emplace_back(
+            counter.first, static_cast<double>(counter.second.value));
+      }
+      report_->Add(std::move(record));
+    }
+  }
+
+ private:
+  JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  nodedp::JsonReport report("perf_substrates");
+#ifdef NDEBUG
+  report.SetContext("build", "release");
+#else
+  report.SetContext("build", "debug");
+#endif
+
+  JsonRunCollector collector(&report);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+
+  const std::string path = nodedp::BenchJsonPath("perf_substrates");
+  const nodedp::Status written = report.WriteFile(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %d benchmark records to %s\n",
+               report.num_records(), path.c_str());
+  return 0;
+}

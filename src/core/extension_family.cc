@@ -1,12 +1,15 @@
 #include "core/extension_family.h"
 
 #include <cmath>
+#include <optional>
+#include <set>
 #include <utility>
 
 #include "core/degree_improve.h"
 #include "graph/connectivity.h"
 #include "graph/subgraph.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace nodedp {
 
@@ -43,6 +46,148 @@ Result<double> ExtensionFamily::Value(double delta) {
     total += *value;
   }
   return total;
+}
+
+Result<std::vector<double>> ExtensionFamily::Values(
+    const std::vector<double>& deltas) {
+  for (double delta : deltas) {
+    if (delta < 1.0) {
+      return Status::InvalidArgument("delta must be >= 1 (Algorithm 1 grid)");
+    }
+  }
+
+  // Plan: every (component, Δ) pair not already settled by the watermark or
+  // the cache becomes a cell. Settled pairs are counted here so the stats
+  // match a sequential sweep.
+  struct Cell {
+    int component;
+    double delta;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::set<double>> queued(components_.size());
+  for (double delta : deltas) {
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      ComponentState& component = components_[c];
+      if (delta >= component.exact_from) {
+        ++stats_.watermark_hits;
+        continue;
+      }
+      if (component.cached.count(delta) > 0 ||
+          !queued[c].insert(delta).second) {
+        ++stats_.cache_hits;
+        continue;
+      }
+      cells.push_back(Cell{static_cast<int>(c), delta});
+    }
+  }
+
+  // Evaluate the cells concurrently. Each cell reads only its component's
+  // pre-batch snapshot, so the outcomes are independent of the schedule.
+  const std::vector<CellOutcome> outcomes = ParallelMap(
+      static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
+        const Cell& cell = cells[static_cast<std::size_t>(i)];
+        return EvaluateCell(components_[cell.component], cell.delta);
+      });
+
+  // Merge in cell order — the one place batch state mutates, and it is
+  // single-threaded and deterministic. The dedup set over a component's cut
+  // pool is built at most once per component, on first use.
+  std::vector<std::optional<std::set<std::vector<int>>>> pooled_by_component(
+      components_.size());
+  Status first_error = Status::OK();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CellOutcome& outcome = outcomes[i];
+    ComponentState& component = components_[cell.component];
+    stats_.cut_rounds += outcome.cut_rounds;
+    stats_.cuts_added += outcome.cuts_added;
+    stats_.simplex_iterations += outcome.simplex_iterations;
+    component.fast_path_failed_at =
+        std::max(component.fast_path_failed_at, outcome.fast_path_failed_at);
+    if (!outcome.ok) {
+      if (first_error.ok()) {
+        first_error = Status::ResourceExhausted(outcome.error);
+      }
+      continue;
+    }
+    if (outcome.fast_certificate) {
+      ++stats_.fast_certificates;
+      component.exact_from =
+          std::min(component.exact_from, std::floor(cell.delta));
+      continue;
+    }
+    ++stats_.lp_evaluations;
+    component.cached.emplace(cell.delta, outcome.value);
+    if (std::fabs(outcome.value - component.f_sf) < 1e-9) {
+      component.exact_from = std::min(component.exact_from, cell.delta);
+    }
+    if (!outcome.new_cuts.empty()) {
+      std::optional<std::set<std::vector<int>>>& pooled =
+          pooled_by_component[cell.component];
+      if (!pooled.has_value()) {
+        pooled.emplace(component.cut_pool.begin(), component.cut_pool.end());
+      }
+      for (const std::vector<int>& cut : outcome.new_cuts) {
+        if (pooled->insert(cut).second) component.cut_pool.push_back(cut);
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  // Assemble the per-Δ totals; after the merge every pair is settled.
+  std::vector<double> totals;
+  totals.reserve(deltas.size());
+  for (double delta : deltas) {
+    double total = 0.0;
+    for (ComponentState& component : components_) {
+      const auto cached = component.cached.find(delta);
+      if (cached != component.cached.end()) {
+        total += cached->second;
+      } else {
+        NODEDP_CHECK_GE(delta, component.exact_from);
+        total += component.f_sf;
+      }
+    }
+    totals.push_back(total);
+  }
+  return totals;
+}
+
+ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
+    const ComponentState& component, double delta) const {
+  CellOutcome outcome;
+  if (options_.use_repair_fast_path) {
+    const int degree_cap = static_cast<int>(std::floor(delta));
+    if (degree_cap >= 1 && degree_cap > component.fast_path_failed_at) {
+      if (FindSpanningForestOfDegree(component.graph, degree_cap)
+              .has_value()) {
+        outcome.fast_certificate = true;
+        outcome.value = component.f_sf;
+        return outcome;
+      }
+      outcome.fast_path_failed_at = degree_cap;
+    }
+  }
+  // Work on a private copy of the pre-batch cut pool; cuts this cell
+  // separates are appended to the copy and handed back for the merge.
+  std::vector<std::vector<int>> pool = component.cut_pool;
+  const std::size_t pool_snapshot_size = pool.size();
+  ForestPolytopeOptions polytope = options_.polytope;
+  polytope.cut_pool = &pool;
+  const ForestPolytopeResult lp =
+      MaximizeOverForestPolytope(component.graph, delta, polytope);
+  outcome.cut_rounds = lp.cut_rounds;
+  outcome.cuts_added = lp.cuts_added;
+  outcome.simplex_iterations = lp.simplex_iterations;
+  if (lp.status != LpStatus::kOptimal) {
+    outcome.ok = false;
+    outcome.error = std::string("forest-polytope LP did not converge: ") +
+                    LpStatusName(lp.status);
+    return outcome;
+  }
+  outcome.value = lp.value;
+  outcome.new_cuts.assign(pool.begin() + pool_snapshot_size, pool.end());
+  return outcome;
 }
 
 Result<double> ExtensionFamily::ComponentValue(ComponentState& component,

@@ -41,6 +41,23 @@ class ExtensionFamily {
   // exhaustion.
   Result<double> Value(double delta);
 
+  // Evaluates the whole grid at once — the Algorithm 4 access pattern — and
+  // returns f_Δ(G) for each delta, in input order. Unsettled
+  // (component, Δ) cells are solved concurrently on the current thread
+  // pool; each cell works against a snapshot of the family taken before the
+  // batch (cut pool, watermark, fast-path floor), and the cells' updates
+  // are merged back in a fixed order afterwards. Both the returned values
+  // and the post-call family state are therefore bit-identical at any
+  // thread count. Requires every delta >= 1; fails only on LP resource
+  // exhaustion.
+  //
+  // Relative to sequential Value() calls the batch trades a little
+  // amortization for parallelism: cells do not see cuts or watermarks
+  // discovered by other cells of the same batch (they are still shared with
+  // every later call). Values are unaffected — the LP optimum does not
+  // depend on which valid cuts seed it.
+  Result<std::vector<double>> Values(const std::vector<double>& deltas);
+
   // f_sf(G) (the non-private true value; used to build GEM scores).
   double SpanningForestSizeValue() const { return f_sf_total_; }
 
@@ -73,6 +90,23 @@ class ExtensionFamily {
   };
 
   Result<double> ComponentValue(ComponentState& component, double delta);
+
+  // One unsettled (component, Δ) cell of a Values() batch, evaluated
+  // against an immutable snapshot of the component. Mutations are returned
+  // for the deterministic merge instead of applied in place.
+  struct CellOutcome {
+    bool ok = true;
+    std::string error;
+    bool fast_certificate = false;  // value == f_sf, certified by a forest
+    double value = 0.0;
+    int fast_path_failed_at = 0;
+    int cut_rounds = 0;
+    int cuts_added = 0;
+    long long simplex_iterations = 0;
+    std::vector<std::vector<int>> new_cuts;
+  };
+  CellOutcome EvaluateCell(const ComponentState& component,
+                           double delta) const;
 
   int num_vertices_ = 0;
   double f_sf_total_ = 0.0;

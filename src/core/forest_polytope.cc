@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "graph/connectivity.h"
 #include "graph/union_find.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace nodedp {
 
@@ -122,50 +124,63 @@ std::vector<SubtourViolation> FindViolatedSubtourSets(
   double total_weight = 0.0;
   for (double w : x) total_weight += w;
 
+  // One independent max-flow per root — the hottest loop of the cutting
+  // plane. Roots are solved concurrently; results land in per-root slots
+  // and are deduplicated afterwards in root order, so the outcome is
+  // bit-identical at any thread count.
+  std::vector<std::optional<SubtourViolation>> by_root = ParallelMap(
+      n, [&](std::int64_t root_index) -> std::optional<SubtourViolation> {
+        const int root = static_cast<int>(root_index);
+        // Only roots carrying weight can participate in a violated set: if
+        // x(δ(r)) = 0 then S \ {r} is at least as violated as S.
+        double incident = 0.0;
+        for (int edge_id : g.IncidentEdgeIds(root)) incident += x[edge_id];
+        if (incident <= tolerance) return std::nullopt;
+
+        // Node layout: 0 = source, 1 = sink, 2..2+m-1 = edge nodes,
+        // 2+m..2+m+n-1 = vertex nodes.
+        Dinic dinic(2 + m + n);
+        const int source = 0;
+        const int sink = 1;
+        auto edge_node = [&](int e) { return 2 + e; };
+        auto vertex_node = [&](int v) { return 2 + m + v; };
+        for (int e = 0; e < m; ++e) {
+          if (x[e] <= 0.0) continue;
+          dinic.AddArc(source, edge_node(e), x[e]);
+          dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).u),
+                       Dinic::kInfinity);
+          dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).v),
+                       Dinic::kInfinity);
+        }
+        for (int v = 0; v < n; ++v) dinic.AddArc(vertex_node(v), sink, 1.0);
+        dinic.AddArc(source, vertex_node(root), Dinic::kInfinity);
+
+        const double cut = dinic.Solve(source, sink);
+        // max_{S∋root} (x(E[S]) - |S|) = total_weight - cut.
+        const double closure_value = total_weight - cut;
+        if (closure_value <= -1.0 + tolerance) return std::nullopt;
+
+        SubtourViolation violation;
+        for (int v = 0; v < n; ++v) {
+          if (dinic.OnSourceSide(vertex_node(v))) {
+            violation.vertices.push_back(v);
+          }
+        }
+        if (violation.vertices.size() < 2) return std::nullopt;
+        // Recompute the violation from the set itself (exact, independent
+        // of flow arithmetic): x(E[S]) - (|S| - 1).
+        violation.violation =
+            SubsetEdgeWeight(g, x, violation.vertices) -
+            (static_cast<double>(violation.vertices.size()) - 1.0);
+        if (violation.violation <= tolerance) return std::nullopt;
+        return violation;
+      });
+
   std::set<std::vector<int>> seen;
-  for (int root = 0; root < n; ++root) {
-    // Only roots carrying weight can participate in a violated set: if
-    // x(δ(r)) = 0 then S \ {r} is at least as violated as S.
-    double incident = 0.0;
-    for (int edge_id : g.IncidentEdgeIds(root)) incident += x[edge_id];
-    if (incident <= tolerance) continue;
-
-    // Node layout: 0 = source, 1 = sink, 2..2+m-1 = edge nodes,
-    // 2+m..2+m+n-1 = vertex nodes.
-    Dinic dinic(2 + m + n);
-    const int source = 0;
-    const int sink = 1;
-    auto edge_node = [&](int e) { return 2 + e; };
-    auto vertex_node = [&](int v) { return 2 + m + v; };
-    for (int e = 0; e < m; ++e) {
-      if (x[e] <= 0.0) continue;
-      dinic.AddArc(source, edge_node(e), x[e]);
-      dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).u),
-                   Dinic::kInfinity);
-      dinic.AddArc(edge_node(e), vertex_node(g.EdgeAt(e).v),
-                   Dinic::kInfinity);
-    }
-    for (int v = 0; v < n; ++v) dinic.AddArc(vertex_node(v), sink, 1.0);
-    dinic.AddArc(source, vertex_node(root), Dinic::kInfinity);
-
-    const double cut = dinic.Solve(source, sink);
-    // max_{S∋root} (x(E[S]) - |S|) = total_weight - cut.
-    const double closure_value = total_weight - cut;
-    if (closure_value <= -1.0 + tolerance) continue;
-
-    SubtourViolation violation;
-    for (int v = 0; v < n; ++v) {
-      if (dinic.OnSourceSide(vertex_node(v))) violation.vertices.push_back(v);
-    }
-    if (violation.vertices.size() < 2) continue;
-    // Recompute the violation from the set itself (exact, independent of
-    // flow arithmetic): x(E[S]) - (|S| - 1).
-    violation.violation =
-        SubsetEdgeWeight(g, x, violation.vertices) -
-        (static_cast<double>(violation.vertices.size()) - 1.0);
-    if (violation.violation <= tolerance) continue;
-    if (!seen.insert(violation.vertices).second) continue;
-    violations.push_back(std::move(violation));
+  for (std::optional<SubtourViolation>& violation : by_root) {
+    if (!violation.has_value()) continue;
+    if (!seen.insert(violation->vertices).second) continue;
+    violations.push_back(std::move(*violation));
   }
 
   std::sort(violations.begin(), violations.end(),

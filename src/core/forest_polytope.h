@@ -73,7 +73,9 @@ struct ForestPolytopeResult {
 
 // Exact separation oracle for constraints (5): returns violated sets, most
 // violated first, at most `max_sets` (<= 0 for all found), each violated by
-// more than `tolerance`.
+// more than `tolerance`. The per-root min-cut subproblems are independent
+// and run concurrently on the current thread pool (util/parallel.h); the
+// result is bit-identical at any thread count.
 std::vector<SubtourViolation> FindViolatedSubtourSets(
     const Graph& g, const std::vector<double>& x, double tolerance,
     int max_sets);

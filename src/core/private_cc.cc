@@ -7,6 +7,7 @@
 #include "dp/laplace.h"
 #include "graph/connectivity.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace nodedp {
 
@@ -43,20 +44,21 @@ Result<SpanningForestRelease> PrivateSpanningForestSize(
 
   // Step 1 of Algorithm 4: evaluate the extension family and the scores
   // q_Δ = |f_Δ − f_sf| + Δ/ε_gem. The extensions underestimate (Lemma 3.3),
-  // so the absolute value is f_sf − f_Δ.
+  // so the absolute value is f_sf − f_Δ. The grid is evaluated as one batch
+  // so independent Δ cells run concurrently (see ExtensionFamily::Values).
   const double f_sf = family.SpanningForestSizeValue();
+  const std::vector<double> grid_deltas(release.grid.begin(),
+                                        release.grid.end());
+  Result<std::vector<double>> values = family.Values(grid_deltas);
+  if (!values.ok()) return values.status();
+  const std::vector<double>& extension_values = *values;
   std::vector<GemCandidate> candidates;
   candidates.reserve(release.grid.size());
-  std::vector<double> extension_values;
-  extension_values.reserve(release.grid.size());
-  for (int delta : release.grid) {
-    Result<double> value = family.Value(delta);
-    if (!value.ok()) return value.status();
+  for (std::size_t i = 0; i < release.grid.size(); ++i) {
     GemCandidate candidate;
-    candidate.lipschitz = delta;
-    candidate.q = (f_sf - *value) + delta / gem_epsilon;
+    candidate.lipschitz = release.grid[i];
+    candidate.q = (f_sf - extension_values[i]) + release.grid[i] / gem_epsilon;
     candidates.push_back(candidate);
-    extension_values.push_back(*value);
   }
   release.candidates = candidates;
 
@@ -106,6 +108,51 @@ Result<ConnectedComponentsRelease> PrivateConnectedComponents(
   // Eq. (1): f_cc = |V| - f_sf.
   release.estimate = release.node_count_estimate - release.forest.estimate;
   return release;
+}
+
+namespace {
+
+// Shared shape of both batch entry points: validate, then answer each query
+// with its own deterministic child stream. `answer` is the per-query release
+// function; it must not touch state shared across queries.
+template <typename ReleaseType, typename AnswerFn>
+std::vector<Result<ReleaseType>> AnswerBatch(
+    const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const AnswerFn& answer) {
+  return ParallelMapSeeded(
+      rng, static_cast<std::int64_t>(queries.size()),
+      [&](std::int64_t i, Rng& child) -> Result<ReleaseType> {
+        const ReleaseQuery& query = queries[static_cast<std::size_t>(i)];
+        if (query.graph == nullptr) {
+          return Status::InvalidArgument("query graph is null");
+        }
+        if (!(query.epsilon > 0.0)) {
+          return Status::InvalidArgument("query epsilon must be > 0");
+        }
+        return answer(query, child);
+      });
+}
+
+}  // namespace
+
+std::vector<Result<SpanningForestRelease>> ReleaseSpanningForestBatch(
+    const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const PrivateCcOptions& options) {
+  return AnswerBatch<SpanningForestRelease>(
+      queries, rng, [&options](const ReleaseQuery& query, Rng& child) {
+        return PrivateSpanningForestSize(*query.graph, query.epsilon, child,
+                                         options);
+      });
+}
+
+std::vector<Result<ConnectedComponentsRelease>> ReleaseBatch(
+    const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const PrivateCcOptions& options) {
+  return AnswerBatch<ConnectedComponentsRelease>(
+      queries, rng, [&options](const ReleaseQuery& query, Rng& child) {
+        return PrivateConnectedComponents(*query.graph, query.epsilon, child,
+                                          options);
+      });
 }
 
 }  // namespace nodedp

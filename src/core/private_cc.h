@@ -87,6 +87,36 @@ Result<ConnectedComponentsRelease> PrivateConnectedComponents(
 // The β the paper uses, 1/ln(ln n), clamped for small n.
 double DefaultBeta(int num_vertices);
 
+// ---------------------------------------------------------------------------
+// Batched serving
+//
+// The serving shape: many independent (graph, ε) queries — e.g. one per
+// user-held graph — answered concurrently on the current thread pool
+// (util/parallel.h). Each query draws from its own child Rng, split from
+// `rng` in query order before dispatch, so a batch returns bit-identical
+// releases at any thread count. Privacy composition is per query: queries
+// are assumed to touch disjoint databases (different users' graphs); batch
+// execution adds no coupling between them.
+//
+// Per-query failures (null graph, ε <= 0, LP resource exhaustion) are
+// reported in that query's slot and do not affect the other queries.
+// ---------------------------------------------------------------------------
+
+struct ReleaseQuery {
+  const Graph* graph = nullptr;  // borrowed; must outlive the call
+  double epsilon = 1.0;
+};
+
+// Releases f_sf(G) for every query (Algorithm 1).
+std::vector<Result<SpanningForestRelease>> ReleaseSpanningForestBatch(
+    const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const PrivateCcOptions& options = {});
+
+// Releases f_cc(G) for every query (Eq. (1)).
+std::vector<Result<ConnectedComponentsRelease>> ReleaseBatch(
+    const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const PrivateCcOptions& options = {});
+
 }  // namespace nodedp
 
 #endif  // NODEDP_CORE_PRIVATE_CC_H_

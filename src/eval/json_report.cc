@@ -1,0 +1,145 @@
+#include "eval/json_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace nodedp {
+
+namespace {
+
+// %.17g round-trips doubles exactly; non-finite values have no JSON
+// representation and become null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string GitRevisionFromEnv() {
+  for (const char* var : {"NODEDP_GIT_REV", "GITHUB_SHA"}) {
+    if (const char* value = std::getenv(var)) {
+      if (value[0] != '\0') return value;
+    }
+  }
+  return "unknown";
+}
+
+std::string BenchJsonPath(const std::string& suite) {
+  if (const char* path = std::getenv("NODEDP_BENCH_JSON")) {
+    if (path[0] != '\0') return path;
+  }
+  return "BENCH_" + suite + ".json";
+}
+
+JsonReport::JsonReport(std::string suite)
+    : suite_(std::move(suite)),
+      git_rev_(GitRevisionFromEnv()),
+      threads_(ParallelThreadCount()) {}
+
+void JsonReport::SetContext(const std::string& key, const std::string& value) {
+  for (auto& entry : context_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void JsonReport::Add(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::string JsonReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"nodedp-bench-v1\",\n";
+  out << "  \"suite\": \"" << JsonEscape(suite_) << "\",\n";
+  out << "  \"git_rev\": \"" << JsonEscape(git_rev_) << "\",\n";
+  out << "  \"threads\": " << threads_ << ",\n";
+  out << "  \"context\": {";
+  for (std::size_t i = 0; i < context_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << JsonEscape(context_[i].first) << "\": \""
+        << JsonEscape(context_[i].second) << "\"";
+  }
+  out << (context_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& record = records_[i];
+    if (i > 0) out << ",";
+    out << "\n    { \"name\": \"" << JsonEscape(record.name) << "\","
+        << " \"real_ns\": " << JsonNumber(record.real_ns) << ","
+        << " \"cpu_ns\": " << JsonNumber(record.cpu_ns) << ","
+        << " \"iterations\": " << record.iterations;
+    if (!record.counters.empty()) {
+      out << ", \"counters\": {";
+      for (std::size_t k = 0; k < record.counters.size(); ++k) {
+        if (k > 0) out << ", ";
+        out << "\"" << JsonEscape(record.counters[k].first)
+            << "\": " << JsonNumber(record.counters[k].second);
+      }
+      out << "}";
+    }
+    out << " }";
+  }
+  out << (records_.empty() ? "" : "\n  ") << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+Status JsonReport::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ToJson();
+  file.flush();
+  if (!file) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace nodedp

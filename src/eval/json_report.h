@@ -1,0 +1,87 @@
+// Machine-readable perf telemetry: a tiny JSON document builder for
+// BENCH_*.json files, the format CI uploads as an artifact on every push so
+// the perf trajectory of the hot paths is continuously measured.
+//
+// Schema (one document per bench suite):
+//
+//   {
+//     "schema": "nodedp-bench-v1",
+//     "suite": "perf_substrates",
+//     "git_rev": "<NODEDP_GIT_REV | GITHUB_SHA | unknown>",
+//     "threads": 4,
+//     "context": { "<key>": "<value>", ... },
+//     "benchmarks": [
+//       { "name": "BM_CuttingPlaneSolve/128",
+//         "real_ns": 12345.6, "cpu_ns": 12001.2, "iterations": 100,
+//         "counters": { "<key>": 1.0, ... } },
+//       ...
+//     ]
+//   }
+//
+// The writer is deliberately minimal — flat records, string keys, double
+// values — because the consumers are a CI artifact and a comparison script,
+// not a general JSON pipeline. Non-finite doubles serialize as null.
+
+#ifndef NODEDP_EVAL_JSON_REPORT_H_
+#define NODEDP_EVAL_JSON_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nodedp {
+
+// One benchmark measurement. `counters` carries bench-specific extras
+// (speedup ratios, problem sizes, cut counts, ...).
+struct BenchRecord {
+  std::string name;
+  double real_ns = 0.0;
+  double cpu_ns = 0.0;
+  long long iterations = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+class JsonReport {
+ public:
+  // `suite` names the producing bench binary, e.g. "perf_substrates";
+  // threads and git_rev are captured at construction (current pool width
+  // and GitRevisionFromEnv()).
+  explicit JsonReport(std::string suite);
+
+  // Free-form context shown under "context" (compiler, build type, ...).
+  void SetContext(const std::string& key, const std::string& value);
+
+  void Add(BenchRecord record);
+
+  int num_records() const { return static_cast<int>(records_.size()); }
+
+  // Serializes the whole document (deterministic field order).
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string suite_;
+  std::string git_rev_;
+  int threads_ = 1;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<BenchRecord> records_;
+};
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+// The revision stamped into reports: $NODEDP_GIT_REV, else $GITHUB_SHA,
+// else "unknown". Environment-sourced so the library never shells out.
+std::string GitRevisionFromEnv();
+
+// Where a suite's report goes: $NODEDP_BENCH_JSON if set, else
+// "BENCH_<suite>.json" in the working directory.
+std::string BenchJsonPath(const std::string& suite);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_EVAL_JSON_REPORT_H_

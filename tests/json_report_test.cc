@@ -1,0 +1,113 @@
+// Tests for the BENCH_*.json perf-telemetry writer.
+
+#include "eval/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace nodedp {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonReportTest, SchemaFieldsPresent) {
+  JsonReport report("unit_suite");
+  report.SetContext("build", "test");
+  BenchRecord record;
+  record.name = "BM_Something/8";
+  record.real_ns = 123.5;
+  record.cpu_ns = 120.25;
+  record.iterations = 10;
+  record.counters.emplace_back("threads", 4.0);
+  report.Add(record);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"nodedp-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"suite\": \"unit_suite\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_rev\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": "), std::string::npos);
+  EXPECT_NE(json.find("\"build\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"BM_Something/8\""), std::string::npos);
+  EXPECT_NE(json.find("\"real_ns\": 123.5"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+}
+
+TEST(JsonReportTest, EmptyReportIsWellFormed) {
+  JsonReport report("empty");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"benchmarks\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"context\": {}"), std::string::npos);
+  EXPECT_EQ(report.num_records(), 0);
+}
+
+TEST(JsonReportTest, NonFiniteNumbersBecomeNull) {
+  JsonReport report("nonfinite");
+  BenchRecord record;
+  record.name = "BM_NaN";
+  record.real_ns = std::numeric_limits<double>::quiet_NaN();
+  record.cpu_ns = std::numeric_limits<double>::infinity();
+  record.iterations = 1;
+  report.Add(record);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"real_ns\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_ns\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(JsonReportTest, WriteFileRoundTrips) {
+  JsonReport report("roundtrip");
+  BenchRecord record;
+  record.name = "BM_X";
+  record.real_ns = 1.0;
+  record.iterations = 2;
+  report.Add(record);
+
+  const std::string path = ::testing::TempDir() + "nodedp_report_test.json";
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), report.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(JsonReportTest, WriteFileReportsIoError) {
+  JsonReport report("io_error");
+  EXPECT_FALSE(report.WriteFile("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(GitRevisionTest, PrefersNodedpVarThenGithubSha) {
+  ASSERT_EQ(setenv("NODEDP_GIT_REV", "rev-a", 1), 0);
+  ASSERT_EQ(setenv("GITHUB_SHA", "rev-b", 1), 0);
+  EXPECT_EQ(GitRevisionFromEnv(), "rev-a");
+  ASSERT_EQ(unsetenv("NODEDP_GIT_REV"), 0);
+  EXPECT_EQ(GitRevisionFromEnv(), "rev-b");
+  ASSERT_EQ(unsetenv("GITHUB_SHA"), 0);
+  EXPECT_EQ(GitRevisionFromEnv(), "unknown");
+}
+
+TEST(BenchJsonPathTest, EnvOverrideWins) {
+  ASSERT_EQ(unsetenv("NODEDP_BENCH_JSON"), 0);
+  EXPECT_EQ(BenchJsonPath("suite"), "BENCH_suite.json");
+  ASSERT_EQ(setenv("NODEDP_BENCH_JSON", "/tmp/custom.json", 1), 0);
+  EXPECT_EQ(BenchJsonPath("suite"), "/tmp/custom.json");
+  ASSERT_EQ(unsetenv("NODEDP_BENCH_JSON"), 0);
+}
+
+}  // namespace
+}  // namespace nodedp
