@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_trials.h"
 #include "core/baselines.h"
 #include "core/extension_family.h"
 #include "core/private_cc.h"
@@ -19,6 +20,7 @@
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "util/random.h"
+#include "util/status.h"
 
 int main() {
   using namespace nodedp;
@@ -47,32 +49,53 @@ int main() {
     const double truth = CountConnectedComponents(w.graph);
     ExtensionFamily family(w.graph);
     Rng rng(661);
+    // Each trial evaluates all five methods from its own child stream.
+    struct MethodErrors {
+      double ours = 0.0;
+      double edge = 0.0;
+      double naive = 0.0;
+      double fixed2 = 0.0;
+      double fixed32 = 0.0;
+    };
+    const auto results = bench::RunWarmedTrials(
+        rng, trials, [&](Rng& child) -> Result<MethodErrors> {
+          const auto release =
+              PrivateConnectedComponents(family, epsilon, child);
+          if (!release.ok()) return release.status();
+          MethodErrors errs;
+          errs.ours = release->estimate - truth;
+          errs.edge =
+              EdgeDpConnectedComponents(w.graph, epsilon, child) - truth;
+          errs.naive =
+              NaiveNodeDpConnectedComponents(w.graph, epsilon, child) - truth;
+          errs.fixed2 =
+              FixedDeltaNodeDpConnectedComponents(w.graph, 2, epsilon, child)
+                  .value() -
+              truth;
+          errs.fixed32 =
+              FixedDeltaNodeDpConnectedComponents(w.graph, 32, epsilon, child)
+                  .value() -
+              truth;
+          return errs;
+        });
     std::vector<double> ours;
     std::vector<double> edge;
     std::vector<double> naive;
     std::vector<double> fixed2;
     std::vector<double> fixed32;
     bool failed = false;
-    for (int t = 0; t < trials && !failed; ++t) {
-      const auto release = PrivateConnectedComponents(family, epsilon, rng);
-      if (!release.ok()) {
+    for (const auto& trial : results) {
+      if (!trial.ok()) {
         std::fprintf(stderr, "%s: %s\n", w.name.c_str(),
-                     release.status().ToString().c_str());
+                     trial.status().ToString().c_str());
         failed = true;
         break;
       }
-      ours.push_back(release->estimate - truth);
-      edge.push_back(EdgeDpConnectedComponents(w.graph, epsilon, rng) - truth);
-      naive.push_back(NaiveNodeDpConnectedComponents(w.graph, epsilon, rng) -
-                      truth);
-      fixed2.push_back(
-          FixedDeltaNodeDpConnectedComponents(w.graph, 2, epsilon, rng)
-              .value() -
-          truth);
-      fixed32.push_back(
-          FixedDeltaNodeDpConnectedComponents(w.graph, 32, epsilon, rng)
-              .value() -
-          truth);
+      ours.push_back(trial->ours);
+      edge.push_back(trial->edge);
+      naive.push_back(trial->naive);
+      fixed2.push_back(trial->fixed2);
+      fixed32.push_back(trial->fixed32);
     }
     if (failed) continue;
     auto row = [&](const char* method, const std::vector<double>& errs) {

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_trials.h"
 #include "core/extension_family.h"
 #include "core/private_cc.h"
 #include "eval/stats.h"
@@ -37,11 +38,14 @@ int main() {
     ExtensionFamily family(w.graph);
     for (double epsilon : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
       Rng rng(771 + static_cast<uint64_t>(epsilon * 1000));
+      const auto results =
+          bench::RunWarmedTrials(rng, trials, [&](Rng& child) {
+            return PrivateSpanningForestSize(family, epsilon, child);
+          });
       std::vector<double> errors;
       std::vector<double> deltas;
       bool failed = false;
-      for (int t = 0; t < trials; ++t) {
-        const auto release = PrivateSpanningForestSize(family, epsilon, rng);
+      for (const auto& release : results) {
         if (!release.ok()) {
           std::fprintf(stderr, "%s eps=%.3f: %s\n", w.name, epsilon,
                        release.status().ToString().c_str());

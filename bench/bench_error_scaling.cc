@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_trials.h"
 #include "core/extension_family.h"
 #include "core/private_cc.h"
 #include "eval/stats.h"
@@ -61,10 +62,13 @@ int main() {
       ExtensionFamily family(w.graph);
       // Seed depends on (n, family) so rows draw independent noise.
       Rng rng(5000 + n + 1000003ULL * static_cast<uint64_t>(++family_index));
+      const auto results =
+          bench::RunWarmedTrials(rng, trials, [&](Rng& child) {
+            return PrivateSpanningForestSize(family, epsilon, child);
+          });
       std::vector<double> errors;
       bool failed = false;
-      for (int t = 0; t < trials; ++t) {
-        const auto release = PrivateSpanningForestSize(family, epsilon, rng);
+      for (const auto& release : results) {
         if (!release.ok()) {
           std::fprintf(stderr, "%s n=%d: %s\n", w.name.c_str(), n,
                        release.status().ToString().c_str());

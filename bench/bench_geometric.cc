@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_trials.h"
 #include "core/extension_family.h"
 #include "core/private_cc.h"
 #include "eval/stats.h"
@@ -42,10 +43,12 @@ int main() {
     }
     ExtensionFamily family(g);
     Rng rng(43000 + n);
+    const auto results = bench::RunWarmedTrials(rng, trials, [&](Rng& child) {
+      return PrivateConnectedComponents(family, epsilon, child);
+    });
     std::vector<double> errors;
     bool failed = false;
-    for (int t = 0; t < trials; ++t) {
-      const auto release = PrivateConnectedComponents(family, epsilon, rng);
+    for (const auto& release : results) {
       if (!release.ok()) {
         std::fprintf(stderr, "n=%d: %s\n", n,
                      release.status().ToString().c_str());

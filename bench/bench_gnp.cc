@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_trials.h"
 #include "core/extension_family.h"
 #include "core/private_cc.h"
 #include "eval/stats.h"
@@ -38,11 +39,14 @@ int main() {
       const double truth = CountConnectedComponents(g);
       ExtensionFamily family(g);
       Rng rng(31000 + n + static_cast<uint64_t>(100 * c));
+      const auto results =
+          bench::RunWarmedTrials(rng, trials, [&](Rng& child) {
+            return PrivateConnectedComponents(family, epsilon, child);
+          });
       std::vector<double> errors;
       std::vector<double> deltas;
       bool failed = false;
-      for (int t = 0; t < trials; ++t) {
-        const auto release = PrivateConnectedComponents(family, epsilon, rng);
+      for (const auto& release : results) {
         if (!release.ok()) {
           std::fprintf(stderr, "c=%.1f n=%d: %s\n", c, n,
                        release.status().ToString().c_str());

@@ -1,0 +1,179 @@
+// S1 — large-graph scale bench: end-to-end node-private connected-component
+// releases on multi-million-vertex sparse graphs, the regime the CSR graph
+// core exists for. Workloads are chosen so components stay small (the
+// serving scenario: huge populations, bounded local structure), with
+// data-independent Δ grids justified by public degree caps:
+//
+//   entity       union of record-cliques of size <= 4 (entity resolution);
+//                public cap: record multiplicity 4 => delta_max = 4.
+//   gnp-0.5/n    subcritical Erdős–Rényi, components O(log n);
+//                delta_max = 32, a public constant.
+//
+// Reports wall-clock ns for graph construction, ExtensionFamily
+// construction (component decomposition via CSR Induce), and the private
+// release itself, plus Graph::MemoryBytes(), through both the console
+// table and the nodedp-bench-v1 JSON artifact (BENCH_scale.json).
+//
+// NODEDP_SCALE_VERTICES overrides the target vertex count (default
+// 1,200,000; CI smoke runs use a smaller value).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "core/private_cc.h"
+#include "eval/json_report.h"
+#include "eval/table.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nodedp;
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+long long TargetVertices() {
+  const char* env = std::getenv("NODEDP_SCALE_VERTICES");
+  if (env != nullptr) {
+    const long long parsed = std::atoll(env);
+    if (parsed >= 1000) return parsed;
+  }
+  return 1200000;
+}
+
+struct ScaleRow {
+  std::string name;
+  Graph graph;
+  int delta_max = 0;
+  double build_ns = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const long long target = TargetVertices();
+  std::printf("S1: scale bench, target vertices = %lld, epsilon = 1\n\n",
+              target);
+  const double epsilon = 1.0;
+
+  JsonReport report("scale");
+  report.SetContext("target_vertices", std::to_string(target));
+
+  Table table({"workload", "n", "m", "graph MB", "build ms", "family ms",
+               "release ms", "|err|"});
+
+  std::vector<ScaleRow> rows;
+  {
+    // Mean records per entity is 2.5, so target/2.5 entities hits the
+    // vertex target in expectation.
+    Rng rng(9001);
+    const auto start = Clock::now();
+    Graph g = gen::RandomEntityGraph(static_cast<int>(target * 2 / 5), 4,
+                                     rng);
+    const double build_ns = ElapsedNs(start);
+    std::printf("entity: built n=%d m=%d in %.0f ms\n", g.NumVertices(),
+                g.NumEdges(), build_ns * 1e-6);
+    ScaleRow row;
+    row.name = "entity";
+    row.graph = std::move(g);
+    row.delta_max = 4;
+    row.build_ns = build_ns;
+    rows.push_back(std::move(row));
+  }
+  {
+    Rng rng(9002);
+    const auto start = Clock::now();
+    Graph g = gen::ErdosRenyi(static_cast<int>(target), 0.5 / target, rng);
+    const double build_ns = ElapsedNs(start);
+    std::printf("gnp-0.5/n: built n=%d m=%d in %.0f ms\n", g.NumVertices(),
+                g.NumEdges(), build_ns * 1e-6);
+    ScaleRow row;
+    row.name = "gnp-0.5/n";
+    row.graph = std::move(g);
+    row.delta_max = 32;
+    row.build_ns = build_ns;
+    rows.push_back(std::move(row));
+  }
+
+  bool all_ok = true;
+  for (ScaleRow& row : rows) {
+    const Graph& g = row.graph;
+    const double truth = CountConnectedComponents(g);
+
+    const auto family_start = Clock::now();
+    ExtensionFamily family(g);
+    const double family_ns = ElapsedNs(family_start);
+
+    PrivateCcOptions options;
+    options.delta_max = row.delta_max;
+    Rng rng(9100);
+    const auto release_start = Clock::now();
+    const auto release =
+        PrivateConnectedComponents(family, epsilon, rng, options);
+    const double release_ns = ElapsedNs(release_start);
+    if (!release.ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.name.c_str(),
+                   release.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    const double abs_err =
+        release->estimate > truth ? release->estimate - truth
+                                  : truth - release->estimate;
+    const double memory_bytes = static_cast<double>(g.MemoryBytes());
+
+    table.Cell(row.name)
+        .Cell(g.NumVertices())
+        .Cell(g.NumEdges())
+        .Cell(memory_bytes / (1024.0 * 1024.0), 1)
+        .Cell(row.build_ns * 1e-6, 1)
+        .Cell(family_ns * 1e-6, 1)
+        .Cell(release_ns * 1e-6, 1)
+        .Cell(abs_err, 1);
+    table.EndRow();
+
+    BenchRecord record;
+    record.name = "Scale/" + row.name + "/release";
+    record.real_ns = release_ns;
+    record.cpu_ns = release_ns;
+    record.iterations = 1;
+    record.counters.emplace_back("vertices", g.NumVertices());
+    record.counters.emplace_back("edges", g.NumEdges());
+    record.counters.emplace_back("graph_memory_bytes", memory_bytes);
+    record.counters.emplace_back("graph_build_ns", row.build_ns);
+    record.counters.emplace_back("family_build_ns", family_ns);
+    record.counters.emplace_back("true_cc", truth);
+    record.counters.emplace_back("estimate", release->estimate);
+    record.counters.emplace_back("abs_error", abs_err);
+    record.counters.emplace_back("lp_evaluations",
+                                 family.stats().lp_evaluations);
+    record.counters.emplace_back("fast_certificates",
+                                 family.stats().fast_certificates);
+    report.Add(std::move(record));
+  }
+
+  table.Print(std::cout);
+
+  const std::string path = BenchJsonPath("scale");
+  const Status written = report.WriteFile(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%d records)\n", path.c_str(),
+              report.num_records());
+  return all_ok ? 0 : 1;
+}

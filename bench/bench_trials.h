@@ -1,0 +1,54 @@
+// Shared scaffold for the experiment benches' noise-trial loops.
+//
+// Every E1-E8 bench has the same shape per table row: evaluate one release
+// function many times against a shared (expensive-to-warm) ExtensionFamily
+// and summarize the error distribution. RunWarmedTrials standardizes the
+// concurrency protocol:
+//
+//   1. one warm call on a fixed throwaway stream populates the family's
+//      grid caches, so the concurrent trials below are pure noise
+//      sampling (ExtensionFamily is safe for concurrent callers either
+//      way; warming just avoids duplicated cold LP work);
+//   2. the trials run on the pool via ParallelMapSeeded — child streams
+//      are split from `rng` in trial order, so every bench table is
+//      identical at any NODEDP_THREADS width.
+//
+// If the warm call fails, its failure is returned as the single result so
+// callers report it through their normal per-trial error path.
+
+#ifndef NODEDP_BENCH_BENCH_TRIALS_H_
+#define NODEDP_BENCH_BENCH_TRIALS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace bench {
+
+// fn: (Rng&) -> Result<T>. Returns `trials` results in trial order (or the
+// warm call's failure alone).
+template <typename Fn>
+auto RunWarmedTrials(Rng& rng, int trials, Fn&& fn)
+    -> std::vector<decltype(fn(std::declval<Rng&>()))> {
+  using ResultT = decltype(fn(std::declval<Rng&>()));
+  {
+    Rng warm_rng(1);
+    ResultT warm = fn(warm_rng);
+    if (!warm.ok()) {
+      std::vector<ResultT> failed;
+      failed.push_back(std::move(warm));
+      return failed;
+    }
+  }
+  return ParallelMapSeeded(
+      rng, trials, [&fn](std::int64_t, Rng& child) { return fn(child); });
+}
+
+}  // namespace bench
+}  // namespace nodedp
+
+#endif  // NODEDP_BENCH_BENCH_TRIALS_H_

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff two nodedp-bench-v1 JSON artifacts (BENCH_*.json).
+
+Prints a per-benchmark table of baseline vs current real_ns with the
+relative delta, so the perf trajectory across revisions is visible in CI
+logs. Benchmarks present in only one file are listed separately.
+
+Exit status: 0 unless --strict is given, in which case any benchmark whose
+real_ns grew by more than --threshold (default 1.25, i.e. +25%) fails the
+run. CI's smoke timings are noisy by design, so the CI step runs without
+--strict and uses the output purely as a trend line.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "nodedp-bench-v1":
+        raise SystemExit(f"{path}: unsupported schema {schema!r}")
+    benches = {}
+    for record in doc.get("benchmarks", []):
+        name = record.get("name")
+        real_ns = record.get("real_ns")
+        if name is None or not isinstance(real_ns, (int, float)):
+            continue
+        benches[name] = float(real_ns)
+    return doc, benches
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two nodedp-bench-v1 JSON artifacts.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="regression ratio: current/baseline above this is flagged "
+             "(default 1.25)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any benchmark regresses past the threshold")
+    args = parser.parse_args()
+
+    base_doc, base = load_report(args.baseline)
+    cur_doc, cur = load_report(args.current)
+
+    print(f"baseline: {args.baseline} (git_rev {base_doc.get('git_rev')}, "
+          f"threads {base_doc.get('threads')})")
+    print(f"current:  {args.current} (git_rev {cur_doc.get('git_rev')}, "
+          f"threads {cur_doc.get('threads')})")
+    print()
+
+    shared = [name for name in cur if name in base]
+    only_base = sorted(name for name in base if name not in cur)
+    only_cur = sorted(name for name in cur if name not in base)
+
+    regressions = []
+    if shared:
+        width = max(len(name) for name in shared)
+        header = (f"{'benchmark':<{width}}  {'baseline':>10}  "
+                  f"{'current':>10}  {'delta':>8}")
+        print(header)
+        print("-" * len(header))
+        for name in shared:
+            ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+            delta = (ratio - 1.0) * 100.0
+            flag = ""
+            if ratio > args.threshold:
+                flag = "  << REGRESSION"
+                regressions.append((name, ratio))
+            print(f"{name:<{width}}  {format_ns(base[name]):>10}  "
+                  f"{format_ns(cur[name]):>10}  {delta:>+7.1f}%{flag}")
+    else:
+        print("no benchmarks in common")
+
+    for name in only_base:
+        print(f"removed: {name} ({format_ns(base[name])})")
+    for name in only_cur:
+        print(f"added:   {name} ({format_ns(cur[name])})")
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed past "
+              f"{args.threshold:.2f}x:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        if args.strict:
+            return 1
+        print("(informational: smoke timings are noisy; rerun locally with "
+              "--benchmark_min_time before acting)")
+    else:
+        print(f"no regressions past {args.threshold:.2f}x "
+              f"({len(shared)} shared benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

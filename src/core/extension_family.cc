@@ -39,6 +39,10 @@ Result<double> ExtensionFamily::Value(double delta) {
   if (delta < 1.0) {
     return Status::InvalidArgument("delta must be >= 1 (Algorithm 1 grid)");
   }
+  // The whole sweep runs under the lock, LP solves included: Value() is the
+  // sequential entry point. Concurrent callers should prefer Values(),
+  // which only locks around planning and merging.
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (ComponentState& component : components_) {
     Result<double> value = ComponentValue(component, delta);
@@ -56,47 +60,52 @@ Result<std::vector<double>> ExtensionFamily::Values(
     }
   }
 
-  // Plan: every (component, Δ) pair not already settled by the watermark or
-  // the cache becomes a cell. Settled pairs are counted here so the stats
-  // match a sequential sweep.
-  struct Cell {
-    int component;
-    double delta;
-  };
-  std::vector<Cell> cells;
-  std::vector<std::set<double>> queued(components_.size());
-  for (double delta : deltas) {
-    for (std::size_t c = 0; c < components_.size(); ++c) {
-      ComponentState& component = components_[c];
-      if (delta >= component.exact_from) {
-        ++stats_.watermark_hits;
-        continue;
+  // Plan under the lock: every (component, Δ) pair not already settled by
+  // the watermark or the cache becomes a cell carrying snapshots of the
+  // mutable component state it will read (cut pool, fast-path floor).
+  // Settled pairs are counted here so the stats match a sequential sweep.
+  std::vector<CellTask> cells;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::set<double>> queued(components_.size());
+    for (double delta : deltas) {
+      for (std::size_t c = 0; c < components_.size(); ++c) {
+        ComponentState& component = components_[c];
+        if (delta >= component.exact_from) {
+          ++stats_.watermark_hits;
+          continue;
+        }
+        if (component.cached.count(delta) > 0 ||
+            !queued[c].insert(delta).second) {
+          ++stats_.cache_hits;
+          continue;
+        }
+        cells.push_back(CellTask{static_cast<int>(c), delta,
+                                 component.fast_path_failed_at,
+                                 component.cut_pool});
       }
-      if (component.cached.count(delta) > 0 ||
-          !queued[c].insert(delta).second) {
-        ++stats_.cache_hits;
-        continue;
-      }
-      cells.push_back(Cell{static_cast<int>(c), delta});
     }
   }
 
-  // Evaluate the cells concurrently. Each cell reads only its component's
-  // pre-batch snapshot, so the outcomes are independent of the schedule.
+  // Evaluate the cells concurrently, outside the lock. Each cell reads only
+  // its own snapshots plus component fields that never change after
+  // construction, so the outcomes are independent of the schedule — and of
+  // any merges other Values() callers complete meanwhile.
   const std::vector<CellOutcome> outcomes = ParallelMap(
       static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
-        const Cell& cell = cells[static_cast<std::size_t>(i)];
-        return EvaluateCell(components_[cell.component], cell.delta);
+        CellTask& cell = cells[static_cast<std::size_t>(i)];
+        return EvaluateCell(components_[cell.component], cell);
       });
 
-  // Merge in cell order — the one place batch state mutates, and it is
-  // single-threaded and deterministic. The dedup set over a component's cut
-  // pool is built at most once per component, on first use.
+  // Merge in cell order — the one place batch state mutates — back under
+  // the lock. The dedup set over a component's cut pool is built at most
+  // once per component, on first use.
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::optional<std::set<std::vector<int>>>> pooled_by_component(
       components_.size());
   Status first_error = Status::OK();
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& cell = cells[i];
+    const CellTask& cell = cells[i];
     const CellOutcome& outcome = outcomes[i];
     ComponentState& component = components_[cell.component];
     stats_.cut_rounds += outcome.cut_rounds;
@@ -154,11 +163,12 @@ Result<std::vector<double>> ExtensionFamily::Values(
 }
 
 ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
-    const ComponentState& component, double delta) const {
+    const ComponentState& component, CellTask& task) const {
+  const double delta = task.delta;
   CellOutcome outcome;
   if (options_.use_repair_fast_path) {
     const int degree_cap = static_cast<int>(std::floor(delta));
-    if (degree_cap >= 1 && degree_cap > component.fast_path_failed_at) {
+    if (degree_cap >= 1 && degree_cap > task.fast_path_failed_at) {
       if (FindSpanningForestOfDegree(component.graph, degree_cap)
               .has_value()) {
         outcome.fast_certificate = true;
@@ -168,9 +178,9 @@ ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
       outcome.fast_path_failed_at = degree_cap;
     }
   }
-  // Work on a private copy of the pre-batch cut pool; cuts this cell
-  // separates are appended to the copy and handed back for the merge.
-  std::vector<std::vector<int>> pool = component.cut_pool;
+  // Work on the task's private snapshot of the cut pool; cuts this cell
+  // separates are appended to it and handed back for the merge.
+  std::vector<std::vector<int>>& pool = task.pool;
   const std::size_t pool_snapshot_size = pool.size();
   ForestPolytopeOptions polytope = options_.polytope;
   polytope.cut_pool = &pool;

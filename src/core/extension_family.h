@@ -21,6 +21,7 @@
 
 #include <limits>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/forest_polytope.h"
@@ -30,6 +31,15 @@
 
 namespace nodedp {
 
+// Thread safety: Value() and Values() may be called concurrently from
+// multiple threads (e.g. parallel noise trials sharing one warmed family).
+// Cache/watermark/cut-pool/stats mutations happen under an internal mutex;
+// the expensive cell evaluations run outside it against immutable
+// snapshots. Returned values are identical regardless of interleaving (the
+// LP optimum does not depend on which valid cuts seed it), but concurrent
+// cold callers may duplicate cell work, so warm the family first (one
+// Values() call over the grid) when sharing it across threads. stats() is
+// unsynchronized: read it only while no call is in flight.
 class ExtensionFamily {
  public:
   // Copies `g` (components of interest, that is) so the family owns its
@@ -89,11 +99,20 @@ class ExtensionFamily {
     std::map<double, double> cached;
   };
 
+  // Requires mu_ to be held.
   Result<double> ComponentValue(ComponentState& component, double delta);
 
-  // One unsettled (component, Δ) cell of a Values() batch, evaluated
-  // against an immutable snapshot of the component. Mutations are returned
-  // for the deterministic merge instead of applied in place.
+  // One unsettled (component, Δ) cell of a Values() batch, planned under
+  // the lock with snapshots of the mutable component state it reads.
+  struct CellTask {
+    int component;
+    double delta;
+    int fast_path_failed_at;               // snapshot
+    std::vector<std::vector<int>> pool;    // snapshot of the cut pool
+  };
+
+  // The cell's result. Mutations are returned for the deterministic merge
+  // instead of applied in place.
   struct CellOutcome {
     bool ok = true;
     std::string error;
@@ -105,12 +124,16 @@ class ExtensionFamily {
     long long simplex_iterations = 0;
     std::vector<std::vector<int>> new_cuts;
   };
+
+  // Runs outside the lock: touches only the task's snapshots and the
+  // component fields that are immutable after construction (graph, f_sf).
   CellOutcome EvaluateCell(const ComponentState& component,
-                           double delta) const;
+                           CellTask& task) const;
 
   int num_vertices_ = 0;
   double f_sf_total_ = 0.0;
   ExtensionOptions options_;
+  mutable std::mutex mu_;
   std::vector<ComponentState> components_;
   Stats stats_;
 };

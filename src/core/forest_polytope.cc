@@ -140,6 +140,7 @@ std::vector<SubtourViolation> FindViolatedSubtourSets(
         // Node layout: 0 = source, 1 = sink, 2..2+m-1 = edge nodes,
         // 2+m..2+m+n-1 = vertex nodes.
         Dinic dinic(2 + m + n);
+        dinic.ReserveArcs(3 * m + n + 1);
         const int source = 0;
         const int sink = 1;
         auto edge_node = [&](int e) { return 2 + e; };

@@ -12,27 +12,37 @@ namespace {
 // Size of v's component, or -1 if it exceeds `cutoff` vertices. Also adds
 // the number of visited vertices to *work.
 int TruncatedComponentSize(const Graph& g, int v, int cutoff, int* work) {
-  std::vector<int> visited_list = {v};
-  // Local visited set; a bitmap over n would defeat the sublinear point,
-  // but clearing only touched entries keeps per-sample cost O(cutoff).
+  // The visited bitmap is grown once per thread and then kept all-false
+  // between calls by clearing only the entries a sample touched: per-sample
+  // cost stays O(cutoff) no matter how large the graph is, which is the
+  // whole point of the sublinear estimator.
   static thread_local std::vector<bool> visited;
-  visited.assign(g.NumVertices(), false);  // simple & safe; see note above
+  if (static_cast<int>(visited.size()) < g.NumVertices()) {
+    visited.resize(g.NumVertices(), false);
+  }
+  std::vector<int> touched = {v};
   visited[v] = true;
   std::queue<int> queue;
   queue.push(v);
   int count = 1;
-  while (!queue.empty()) {
+  bool truncated = false;
+  while (!queue.empty() && !truncated) {
     const int u = queue.front();
     queue.pop();
     ++*work;
     for (int w : g.Neighbors(u)) {
       if (visited[w]) continue;
       visited[w] = true;
-      if (++count > cutoff) return -1;
+      touched.push_back(w);
+      if (++count > cutoff) {
+        truncated = true;
+        break;
+      }
       queue.push(w);
     }
   }
-  return count;
+  for (int w : touched) visited[w] = false;
+  return truncated ? -1 : count;
 }
 
 }  // namespace

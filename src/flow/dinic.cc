@@ -12,6 +12,11 @@ Dinic::Dinic(int num_nodes)
   NODEDP_CHECK_GE(num_nodes, 0);
 }
 
+void Dinic::ReserveArcs(int expected_arcs) {
+  NODEDP_CHECK_GE(expected_arcs, 0);
+  arcs_.reserve(2 * static_cast<std::size_t>(expected_arcs));
+}
+
 int Dinic::AddArc(int u, int v, double capacity) {
   NODEDP_CHECK_GE(capacity, 0.0);
   NODEDP_DCHECK(u >= 0 && u < num_nodes());

@@ -18,14 +18,29 @@ int SpanningForestSize(const Graph& g) {
 }
 
 std::vector<int> ComponentLabels(const Graph& g) {
-  UnionFind uf(g.NumVertices());
-  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
-  std::vector<int> labels(g.NumVertices(), -1);
+  // Iterative DFS over the flat CSR neighbor array: every edge is touched
+  // exactly twice, contiguously, with no union-find indirection. Scanning
+  // roots in ascending order assigns labels in order of each component's
+  // smallest vertex, as documented.
+  const int n = g.NumVertices();
+  std::vector<int> labels(n, -1);
+  std::vector<int> stack;
   int next = 0;
-  for (int v = 0; v < g.NumVertices(); ++v) {
-    const int root = uf.Find(v);
-    if (labels[root] < 0) labels[root] = next++;
-    labels[v] = labels[root];
+  for (int root = 0; root < n; ++root) {
+    if (labels[root] >= 0) continue;
+    const int label = next++;
+    labels[root] = label;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : g.Neighbors(u)) {
+        if (labels[v] < 0) {
+          labels[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
   }
   return labels;
 }
@@ -34,7 +49,12 @@ std::vector<std::vector<int>> ComponentVertexSets(const Graph& g) {
   const std::vector<int> labels = ComponentLabels(g);
   int num = 0;
   for (int l : labels) num = std::max(num, l + 1);
+  // Size each set exactly before filling so million-vertex decompositions
+  // do not regrow per-component vectors.
+  std::vector<int> sizes(num, 0);
+  for (int l : labels) ++sizes[l];
   std::vector<std::vector<int>> sets(num);
+  for (int c = 0; c < num; ++c) sets[c].reserve(sizes[c]);
   for (int v = 0; v < g.NumVertices(); ++v) sets[labels[v]].push_back(v);
   return sets;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
@@ -73,25 +74,27 @@ Graph ErdosRenyi(int n, double p, Rng& rng) {
   if (p <= 0.0) return Empty(n);
   // Geometric skipping over pairs: O(n + m) expected instead of O(n^2).
   const double log_q = std::log(1.0 - p);
-  int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
   int64_t index = -1;
+  // Running row cursor for the linear-index -> (u, v) row-major mapping.
+  // Sampled indices are strictly increasing, so the cursor only ever moves
+  // forward: O(n + m) for the whole sweep instead of O(n) per edge.
+  int64_t row = 0;
+  int64_t row_start = 0;
+  int64_t row_len = n - 1;
   for (;;) {
     const double u = rng.NextDoubleOpen();
     const double skip = std::floor(std::log(u) / log_q);
     if (skip > static_cast<double>(total_pairs)) break;
     index += 1 + static_cast<int64_t>(skip);
     if (index >= total_pairs) break;
-    // Map linear pair index to (u, v), u < v, in row-major order.
-    int64_t row = 0;
-    int64_t remaining = index;
-    int64_t row_len = n - 1;
-    while (remaining >= row_len) {
-      remaining -= row_len;
+    while (index - row_start >= row_len) {
+      row_start += row_len;
       --row_len;
       ++row;
     }
     edges.emplace_back(static_cast<int>(row),
-                       static_cast<int>(row + 1 + remaining));
+                       static_cast<int>(row + 1 + (index - row_start)));
   }
   return Graph(n, std::move(edges));
 }
@@ -153,6 +156,13 @@ Graph BarabasiAlbert(int n, int edges_per_step, Rng& rng) {
   NODEDP_CHECK_GE(edges_per_step, 1);
   NODEDP_CHECK_GE(n, edges_per_step);
   GraphBuilder builder(n);
+  // The hint can exceed int for large (n, edges_per_step); compute wide and
+  // clamp — beyond INT_MAX the edge list could not be represented anyway.
+  const int64_t edge_hint =
+      static_cast<int64_t>(edges_per_step) * (edges_per_step - 1) / 2 +
+      static_cast<int64_t>(n - edges_per_step) * edges_per_step;
+  builder.ReserveEdges(static_cast<int>(
+      std::min<int64_t>(edge_hint, std::numeric_limits<int>::max())));
   // Seed: clique on the first edges_per_step vertices.
   for (int u = 0; u < edges_per_step; ++u) {
     for (int v = u + 1; v < edges_per_step; ++v) builder.AddEdge(u, v);
@@ -216,6 +226,8 @@ Graph RandomTreeLike(int n, int max_degree, double extra_edge_p, Rng& rng) {
   NODEDP_CHECK_GE(n, 1);
   NODEDP_CHECK_GE(max_degree, 1);
   GraphBuilder builder(n);
+  builder.ReserveEdges(
+      n - 1 + static_cast<int>(static_cast<double>(n) * extra_edge_p));
   std::vector<int> tree_degree(n, 0);
   // Vertices whose tree degree is still below max_degree.
   std::vector<int> open = {0};

@@ -21,37 +21,85 @@ Graph::Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs)
   }
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  BuildCsr();
+}
 
-  adjacency_.assign(num_vertices_, {});
-  incident_edge_ids_.assign(num_vertices_, {});
-  edge_id_by_key_.reserve(edges_.size() * 2);
+Graph::Graph(int num_vertices, std::vector<Edge> edges, SortedUniqueTag)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  NODEDP_CHECK_GE(num_vertices, 0);
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    NODEDP_DCHECK(0 <= e.u && e.u < e.v && e.v < num_vertices_);
+    NODEDP_DCHECK(i == 0 || edges_[i - 1] < e);
+  }
+#endif
+  BuildCsr();
+}
+
+Graph Graph::FromSortedEdges(int num_vertices, std::vector<Edge> edges) {
+  return Graph(num_vertices, std::move(edges), SortedUniqueTag{});
+}
+
+void Graph::BuildCsr() {
+  // Counting pass: offsets_[v + 1] accumulates deg(v), then a prefix sum
+  // turns counts into slice starts.
+  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (int v = 0; v < num_vertices_; ++v) offsets_[v + 1] += offsets_[v];
+
+  // Fill pass. Edges are sorted by (u, v), so vertex w receives first its
+  // lower neighbors (from edges (u, w), u ascending) and then its higher
+  // neighbors (from edges (w, v), v ascending): every slice comes out
+  // sorted without a per-vertex sort.
+  csr_neighbors_.resize(2 * edges_.size());
+  csr_incident_.resize(2 * edges_.size());
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
   for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
     const Edge& e = edges_[id];
-    adjacency_[e.u].push_back(e.v);
-    adjacency_[e.v].push_back(e.u);
-    incident_edge_ids_[e.u].push_back(id);
-    incident_edge_ids_[e.v].push_back(id);
-    edge_id_by_key_.emplace(EdgeKey(e.u, e.v), id);
+    csr_neighbors_[cursor[e.u]] = e.v;
+    csr_incident_[cursor[e.u]++] = id;
+    csr_neighbors_[cursor[e.v]] = e.u;
+    csr_incident_[cursor[e.v]++] = id;
   }
-  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
 }
 
 int Graph::MaxDegree() const {
   int best = 0;
-  for (const auto& nbrs : adjacency_) {
-    best = std::max(best, static_cast<int>(nbrs.size()));
+  for (int v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, SliceLength(v));
   }
   return best;
 }
 
-bool Graph::HasEdge(int u, int v) const { return EdgeId(u, v) >= 0; }
-
 int Graph::EdgeId(int u, int v) const {
   if (u == v) return -1;
-  if (u > v) std::swap(u, v);
-  if (u < 0 || v >= num_vertices_) return -1;
-  const auto it = edge_id_by_key_.find(EdgeKey(u, v));
-  return (it == edge_id_by_key_.end()) ? -1 : it->second;
+  if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) return -1;
+  // Search the shorter of the two sorted slices.
+  const int base = Degree(u) <= Degree(v) ? u : v;
+  const int target = base == u ? v : u;
+  const int* first = csr_neighbors_.data() + offsets_[base];
+  const int* last = csr_neighbors_.data() + offsets_[base + 1];
+  const int* it = std::lower_bound(first, last, target);
+  if (it == last || *it != target) return -1;
+  return csr_incident_[it - csr_neighbors_.data()];
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return edges_.capacity() * sizeof(Edge) +
+         offsets_.capacity() * sizeof(int) +
+         csr_neighbors_.capacity() * sizeof(int) +
+         csr_incident_.capacity() * sizeof(int);
+}
+
+void GraphBuilder::ReserveEdges(int expected_edges) {
+  NODEDP_CHECK_GE(expected_edges, 0);
+  reserved_ = true;
+  edges_.reserve(static_cast<std::size_t>(expected_edges));
+  seen_.reserve(static_cast<std::size_t>(expected_edges));
 }
 
 bool GraphBuilder::AddEdge(int u, int v) {
@@ -60,9 +108,8 @@ bool GraphBuilder::AddEdge(int u, int v) {
   NODEDP_CHECK_LT(u, num_vertices_);
   NODEDP_CHECK_LT(v, num_vertices_);
   if (u == v) return false;
-  auto [it, inserted] = seen_.emplace(Key(u, v), true);
-  (void)it;
-  if (!inserted) return false;
+  if (!reserved_) ReserveEdges(num_vertices_);
+  if (!seen_.insert(Key(u, v)).second) return false;
   edges_.emplace_back(u, v);
   return true;
 }

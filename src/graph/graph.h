@@ -1,4 +1,5 @@
-// Core immutable undirected graph type.
+// Core immutable undirected graph type, stored in CSR (compressed sparse
+// row) form.
 //
 // Graphs in this library are simple (no self-loops, no parallel edges),
 // undirected, and unweighted, matching the database model of the paper
@@ -7,16 +8,29 @@
 // A Graph is immutable after construction. Use GraphBuilder for incremental
 // construction, or the factory functions in graph/generators.h. Vertices are
 // dense integers [0, NumVertices()). Edges are normalized with u < v and
-// stored both as an edge list (the LP variables of Definition 3.1 are indexed
-// by this list) and as sorted adjacency lists.
+// stored as a sorted edge list (the LP variables of Definition 3.1 are
+// indexed by this list) plus three flat CSR arrays:
+//
+//   offsets_        n+1 prefix sums of vertex degrees
+//   csr_neighbors_  2m neighbor ids, the slice [offsets_[v], offsets_[v+1])
+//                   being the sorted neighbor list of v
+//   csr_incident_   2m edge ids, parallel to csr_neighbors_ (the id of the
+//                   edge connecting v to its k-th neighbor)
+//
+// Accessors hand out Span views into these arrays; there are no per-vertex
+// containers and no hash map. EdgeId(u, v) is a binary search over the
+// sorted neighbor slice of the lower-degree endpoint.
 
 #ifndef NODEDP_GRAPH_GRAPH_H_
 #define NODEDP_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "util/span.h"
 
 namespace nodedp {
 
@@ -43,6 +57,13 @@ class Graph {
   // rejected with a CHECK. Endpoints must be in [0, num_vertices).
   Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs);
 
+  // Fast path for callers that already hold a normalized (u < v), sorted,
+  // duplicate-free edge list over valid endpoints — subgraph induction,
+  // generators that emit edges in order. Skips validation (DCHECKed in
+  // debug builds), sorting, and deduplication: construction is one counting
+  // pass plus one fill pass over `edges`.
+  static Graph FromSortedEdges(int num_vertices, std::vector<Edge> edges);
+
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;
   Graph(Graph&&) = default;
@@ -56,33 +77,50 @@ class Graph {
   const std::vector<Edge>& Edges() const { return edges_; }
   const Edge& EdgeAt(int edge_id) const { return edges_[edge_id]; }
 
-  // Sorted neighbor list of `v`.
-  const std::vector<int>& Neighbors(int v) const { return adjacency_[v]; }
-  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+  // Sorted neighbor list of `v`, as a view into the flat CSR array. Valid
+  // as long as this Graph is alive.
+  Span<const int> Neighbors(int v) const {
+    return Span<const int>(csr_neighbors_.data() + offsets_[v],
+                           static_cast<std::size_t>(SliceLength(v)));
+  }
+
+  int Degree(int v) const { return SliceLength(v); }
 
   // Largest vertex degree; 0 for edgeless graphs.
   int MaxDegree() const;
 
-  bool HasEdge(int u, int v) const;
+  bool HasEdge(int u, int v) const { return EdgeId(u, v) >= 0; }
 
-  // Id of edge {u, v} in Edges(), or -1 if absent.
+  // Id of edge {u, v} in Edges(), or -1 if absent. O(log deg): binary
+  // search over the sorted neighbor slice of the lower-degree endpoint.
   int EdgeId(int u, int v) const;
 
-  // Ids of the edges incident to `v` (the set δ(v) of Definition 3.1).
-  const std::vector<int>& IncidentEdgeIds(int v) const {
-    return incident_edge_ids_[v];
+  // Ids of the edges incident to `v` (the set δ(v) of Definition 3.1),
+  // parallel to Neighbors(v).
+  Span<const int> IncidentEdgeIds(int v) const {
+    return Span<const int>(csr_incident_.data() + offsets_[v],
+                           static_cast<std::size_t>(SliceLength(v)));
   }
 
+  // Heap footprint of this graph in bytes (edge list + CSR arrays,
+  // capacity-based). Telemetry for the scale benches; not an allocator
+  // measurement.
+  std::size_t MemoryBytes() const;
+
  private:
-  static uint64_t EdgeKey(int u, int v) {
-    return (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
-  }
+  struct SortedUniqueTag {};
+  Graph(int num_vertices, std::vector<Edge> edges, SortedUniqueTag);
+
+  // Builds the CSR arrays from edges_ (sorted, unique, normalized).
+  void BuildCsr();
+
+  int SliceLength(int v) const { return offsets_[v + 1] - offsets_[v]; }
 
   int num_vertices_ = 0;
   std::vector<Edge> edges_;
-  std::vector<std::vector<int>> adjacency_;
-  std::vector<std::vector<int>> incident_edge_ids_;
-  std::unordered_map<uint64_t, int> edge_id_by_key_;
+  std::vector<int> offsets_ = {0};
+  std::vector<int> csr_neighbors_;
+  std::vector<int> csr_incident_;
 };
 
 // Incremental construction helper. Ignores duplicate edges.
@@ -90,16 +128,26 @@ class GraphBuilder {
  public:
   explicit GraphBuilder(int num_vertices) : num_vertices_(num_vertices) {}
 
+  // Pre-sizes the internal edge list and dedup set for `expected_edges`
+  // insertions, so building million-edge graphs does not rehash/regrow
+  // repeatedly. A hint, not a cap.
+  void ReserveEdges(int expected_edges);
+
   // Adds an undirected edge; returns false if it was already present or is a
   // self-loop (self-loops are rejected, not CHECKed, so randomized
   // generators can call this unconditionally). Out-of-range endpoints, by
   // contrast, are programmer errors and CHECK-fail.
+  //
+  // If ReserveEdges was not called, the first insertion reserves capacity
+  // for num_vertices() edges — the right order of magnitude for the sparse
+  // graphs this library serves.
   bool AddEdge(int u, int v);
 
   // Appends a fresh isolated vertex and returns its id.
   int AddVertex();
 
   int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
 
   Graph Build() &&;
 
@@ -110,8 +158,9 @@ class GraphBuilder {
   }
 
   int num_vertices_ = 0;
+  bool reserved_ = false;
   std::vector<std::pair<int, int>> edges_;
-  std::unordered_map<uint64_t, bool> seen_;
+  std::unordered_set<uint64_t> seen_;
 };
 
 }  // namespace nodedp

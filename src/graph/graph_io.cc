@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -39,9 +40,11 @@ bool ParseInt(std::string_view token, long long* value) {
 
 Result<Graph> ReadEdgeList(std::istream& in) {
   std::string line;
+  bool have_header = false;
   long long num_vertices = -1;
   long long num_edges = -1;
-  std::vector<std::pair<int, int>> edges;
+  long long edge_lines = 0;
+  GraphBuilder builder(0);
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
@@ -58,13 +61,21 @@ Result<Graph> ReadEdgeList(std::istream& in) {
       return Status::IoError("line " + std::to_string(line_number) +
                              ": malformed integer");
     }
-    if (num_vertices < 0) {
+    if (!have_header) {
       if (a < 0 || b < 0) {
         return Status::IoError("header: negative counts");
       }
+      if (a > std::numeric_limits<int>::max() ||
+          b > std::numeric_limits<int>::max()) {
+        return Status::IoError("header: counts exceed int range");
+      }
+      have_header = true;
       num_vertices = a;
       num_edges = b;
-      edges.reserve(static_cast<size_t>(b));
+      // The header announces the sizes, so million-edge files build without
+      // a single rehash or regrow.
+      builder = GraphBuilder(static_cast<int>(num_vertices));
+      builder.ReserveEdges(static_cast<int>(num_edges));
       continue;
     }
     if (a < 0 || b < 0 || a >= num_vertices || b >= num_vertices) {
@@ -75,15 +86,16 @@ Result<Graph> ReadEdgeList(std::istream& in) {
       return Status::IoError("line " + std::to_string(line_number) +
                              ": self-loop");
     }
-    edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
+    ++edge_lines;
+    builder.AddEdge(static_cast<int>(a), static_cast<int>(b));
   }
-  if (num_vertices < 0) return Status::IoError("missing header line");
-  if (static_cast<long long>(edges.size()) != num_edges) {
+  if (!have_header) return Status::IoError("missing header line");
+  if (edge_lines != num_edges) {
     return Status::IoError("edge count mismatch: header says " +
                            std::to_string(num_edges) + ", found " +
-                           std::to_string(edges.size()));
+                           std::to_string(edge_lines));
   }
-  return Graph(static_cast<int>(num_vertices), std::move(edges));
+  return std::move(builder).Build();
 }
 
 Status WriteEdgeListFile(const Graph& g, const std::string& path) {

@@ -107,7 +107,7 @@ struct MisSearch {
 // Maximum independent set inside g[N(center)], with budget accounting.
 StarNumberResult StarAtCenter(const Graph& g, int center,
                               int64_t& work_budget) {
-  const std::vector<int>& nbrs = g.Neighbors(center);
+  const Span<const int> nbrs = g.Neighbors(center);
   const int k = static_cast<int>(nbrs.size());
   StarNumberResult result;
   result.center = center;
@@ -142,10 +142,10 @@ StarNumberResult StarAtCenter(const Graph& g, int center,
 }  // namespace
 
 int GreedyInducedStarAt(const Graph& g, int v) {
-  const std::vector<int>& nbrs = g.Neighbors(v);
+  const Span<const int> nbrs = g.Neighbors(v);
   // Repeatedly take the neighbor with the fewest remaining
   // neighbor-neighbors, then discard its adjacent candidates.
-  std::vector<int> candidates = nbrs;
+  std::vector<int> candidates(nbrs.begin(), nbrs.end());
   int count = 0;
   while (!candidates.empty()) {
     int best_idx = 0;

@@ -6,26 +6,62 @@
 
 namespace nodedp {
 
+namespace {
+
+// Host-id -> subgraph-id scratch map, kept with the invariant that every
+// entry is -1 between Induce calls. Growing it is O(n) once per thread;
+// each call then touches only the k entries of its vertex subset, so
+// inducing all components of a graph is O(n + m) total instead of
+// O(n * #components). Thread-local because component decomposition runs
+// under the parallel substrate.
+thread_local std::vector<int> tls_new_id;
+
+}  // namespace
+
 InducedSubgraph Induce(const Graph& g, std::vector<int> vertices) {
   std::sort(vertices.begin(), vertices.end());
   NODEDP_CHECK_MSG(
       std::adjacent_find(vertices.begin(), vertices.end()) == vertices.end(),
       "duplicate vertex in induced subgraph");
-  std::vector<int> new_id(g.NumVertices(), -1);
-  for (int i = 0; i < static_cast<int>(vertices.size()); ++i) {
+  const int k = static_cast<int>(vertices.size());
+  std::vector<int>& new_id = tls_new_id;
+  if (static_cast<int>(new_id.size()) < g.NumVertices()) {
+    new_id.resize(g.NumVertices(), -1);
+  }
+  for (int i = 0; i < k; ++i) {
     const int v = vertices[i];
     NODEDP_CHECK_GE(v, 0);
     NODEDP_CHECK_LT(v, g.NumVertices());
     new_id[v] = i;
   }
-  std::vector<std::pair<int, int>> edges;
-  for (const Edge& e : g.Edges()) {
-    if (new_id[e.u] >= 0 && new_id[e.v] >= 0) {
-      edges.emplace_back(new_id[e.u], new_id[e.v]);
+
+  // Relabeling is monotone (vertices are ascending), so sweeping kept
+  // vertices in order and their sorted neighbor slices upward yields the
+  // induced edge list already normalized, sorted, and duplicate-free —
+  // ready for the CSR fast path with no intermediate pair list. The first
+  // sweep only counts, so the edge array is allocated exactly once.
+  std::size_t num_edges = 0;
+  for (int i = 0; i < k; ++i) {
+    const int v = vertices[i];
+    for (int nbr : g.Neighbors(v)) {
+      if (nbr > v && new_id[nbr] >= 0) ++num_edges;
     }
   }
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (int i = 0; i < k; ++i) {
+    const int v = vertices[i];
+    for (int nbr : g.Neighbors(v)) {
+      if (nbr > v && new_id[nbr] >= 0) {
+        edges.push_back(Edge{i, new_id[nbr]});
+      }
+    }
+  }
+
+  for (int v : vertices) new_id[v] = -1;  // restore the scratch invariant
+
   InducedSubgraph result;
-  result.graph = Graph(static_cast<int>(vertices.size()), std::move(edges));
+  result.graph = Graph::FromSortedEdges(k, std::move(edges));
   result.original_vertex = std::move(vertices);
   return result;
 }

@@ -1,0 +1,88 @@
+// A minimal contiguous-view type (C++17 stand-in for std::span).
+//
+// Span<const T> is the accessor currency of the CSR graph core: Neighbors()
+// and IncidentEdgeIds() hand out views into one flat array instead of
+// references into per-vertex vectors, so consumers iterate contiguous memory
+// and the graph never materializes per-vertex containers. A Span does not
+// own its elements; it is valid only as long as the underlying storage.
+//
+// Deliberately tiny: pointer + length, range-for support, element access,
+// and subspan. No mutation helpers, no static extents.
+
+#ifndef NODEDP_UTIL_SPAN_H_
+#define NODEDP_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+  using const_iterator = T*;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  // Views over a vector (enabled only for const element types, so a Span
+  // never becomes a mutable back door into a container). Temporaries are
+  // rejected: a view into one would dangle at the end of the expression.
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<value_type>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+  Span(const std::vector<value_type>&&) = delete;
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) const {
+    NODEDP_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& front() const {
+    NODEDP_DCHECK(size_ > 0);
+    return data_[0];
+  }
+  T& back() const {
+    NODEDP_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  Span subspan(std::size_t offset, std::size_t count) const {
+    NODEDP_DCHECK(offset + count <= size_);
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+template <typename T>
+bool operator==(Span<T> a, Span<T> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, Span<T> b) {
+  return !(a == b);
+}
+
+}  // namespace nodedp
+
+#endif  // NODEDP_UTIL_SPAN_H_

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "core/lipschitz_extension.h"
 #include "graph/connectivity.h"
@@ -111,6 +113,49 @@ TEST(ExtensionFamilyTest, SpanningForestSizeValue) {
 TEST(ExtensionFamilyTest, InvalidDeltaRejected) {
   ExtensionFamily family(gen::Path(4));
   EXPECT_FALSE(family.Value(0.5).ok());
+}
+
+TEST(ExtensionFamilyTest, ConcurrentValuesCallsAgreeWithSequential) {
+  // Hammer one shared family with concurrent Values()/Value() callers —
+  // cold, so cells are actually evaluated and merged under contention —
+  // and require every result to equal an independent sequential family's.
+  // Run under TSan in CI, this is the proof of the documented thread
+  // safety contract.
+  Rng rng(555);
+  const Graph g = gen::DisjointUnion(
+      {gen::ErdosRenyi(24, 0.15, rng), gen::Caterpillar(8, 2),
+       gen::Complete(6)});
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 8.0};
+
+  ExtensionFamily sequential(g);
+  const std::vector<double> expected = sequential.Values(grid).value();
+
+  ExtensionFamily shared(g);
+  constexpr int kCallers = 8;
+  std::vector<std::vector<double>> got(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&shared, &got, &grid, i] {
+      if (i % 2 == 0) {
+        got[i] = shared.Values(grid).value();
+      } else {
+        got[i].reserve(grid.size());
+        for (double delta : grid) {
+          got[i].push_back(shared.Value(delta).value());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kCallers; ++i) {
+    ASSERT_EQ(got[i].size(), expected.size()) << "caller " << i;
+    for (std::size_t d = 0; d < expected.size(); ++d) {
+      EXPECT_NEAR(got[i][d], expected[d], kTol)
+          << "caller " << i << " delta " << grid[d];
+    }
+  }
 }
 
 TEST(ExtensionFamilyTest, NoDecompositionOptionStillCorrect) {

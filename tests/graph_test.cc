@@ -41,7 +41,7 @@ TEST(GraphTest, NormalizesAndDeduplicatesEdges) {
 TEST(GraphTest, AdjacencySorted) {
   Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
   const std::vector<int> expected = {1, 2, 3, 4};
-  EXPECT_EQ(g.Neighbors(0), expected);
+  EXPECT_EQ(g.Neighbors(0), Span<const int>(expected));
   EXPECT_EQ(g.Degree(0), 4);
   EXPECT_EQ(g.MaxDegree(), 4);
 }
@@ -127,6 +127,42 @@ TEST(GraphBuilderTest, IsolatedAddedVertexSurvivesBuild) {
   EXPECT_EQ(g.Degree(isolated), 0);
   EXPECT_TRUE(g.Neighbors(isolated).empty());
   EXPECT_TRUE(g.IncidentEdgeIds(isolated).empty());
+}
+
+TEST(GraphTest, MemoryBytesTracksSize) {
+  Graph empty(100, {});
+  Graph path(100, [] {
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v + 1 < 100; ++v) edges.emplace_back(v, v + 1);
+    return edges;
+  }());
+  EXPECT_GT(empty.MemoryBytes(), 0u);  // offsets array is always there
+  EXPECT_GT(path.MemoryBytes(), empty.MemoryBytes());
+  // CSR floor: edge list + two flat arrays of 2m ints + n+1 offsets.
+  EXPECT_GE(path.MemoryBytes(),
+            99 * sizeof(Edge) + 4 * 99 * sizeof(int) + 101 * sizeof(int));
+}
+
+TEST(GraphTest, FromSortedEdgesBuildsIdenticalGraph) {
+  const std::vector<Edge> sorted = {{0, 1}, {0, 3}, {1, 2}, {2, 3}};
+  Graph g = Graph::FromSortedEdges(4, sorted);
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_EQ(g.EdgeId(3, 2), 3);
+  EXPECT_EQ(g.Degree(0), 2);
+  const std::vector<int> expected = {1, 3};
+  EXPECT_EQ(g.Neighbors(0), Span<const int>(expected));
+}
+
+TEST(GraphBuilderTest, ReserveEdgesPreventsRegrowth) {
+  GraphBuilder builder(1000);
+  builder.ReserveEdges(999);
+  for (int v = 0; v + 1 < 1000; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1));
+  }
+  EXPECT_EQ(builder.num_edges(), 999);
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumEdges(), 999);
+  EXPECT_EQ(g.MaxDegree(), 2);
 }
 
 TEST(GraphTest, EdgeIdOutOfRangeIsAbsent) {
