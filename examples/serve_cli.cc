@@ -1,0 +1,300 @@
+// serve_cli: line-oriented front end to serve/ReleaseServer — a release
+// server driven over stdin/stdout, one request per line, one `ok ...` or
+// `err ...` response per request (protocol spec: docs/SERVING.md).
+//
+// Usage: serve_cli [--seed S]
+//
+// Requests:
+//   load <name> <path> [budget] [delta_max]
+//       Register a graph file (binary NDPG or text edge list, auto-detected)
+//       under <name> with total privacy budget [budget] (default 10) and
+//       public degree cap [delta_max] (default: n). Builds and warms the
+//       extension family, so `load` is the expensive step.
+//   gen <name> gnp <n> <avg_deg> <seed> [budget] [delta_max]
+//       Generate and register a G(n, avg_deg/n) graph (no file needed).
+//   save <name> <path> [text|binary]
+//       Write a registered graph back out (default binary).
+//   release_cc <name> <epsilon>
+//   release_sf <name> <epsilon>
+//       One ε-node-private release (Eq. (1) / Algorithm 1). Charges ε.
+//   sweep <name> <eps1> <eps2> ...
+//       Releases at every listed ε against the one warmed family; charges
+//       Σ ε_i all-or-nothing.
+//   budget <name>        Ledger state: total / spent / remaining / refusals.
+//   stats [<name>]       Per-graph (or registry-wide) telemetry.
+//   evict <name>         Unregister and drop the warmed family.
+//   quit                 Exit 0 (EOF does the same).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "serve/release_server.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nodedp;
+
+// Parses a strictly positive double, returning false on garbage.
+bool ParsePositiveDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || !(value > 0.0)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseNonNegativeInt(const std::string& token, long long* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+// `load`/`gen` share the trailing [budget] [delta_max] arguments.
+bool ParseConfigTail(const std::vector<std::string>& args, std::size_t from,
+                     ServeGraphConfig* config, std::string* error) {
+  if (args.size() > from) {
+    if (!ParsePositiveDouble(args[from], &config->total_epsilon)) {
+      *error = "budget must be a positive number";
+      return false;
+    }
+  }
+  if (args.size() > from + 1) {
+    long long delta_max = 0;
+    if (!ParseNonNegativeInt(args[from + 1], &delta_max) || delta_max <= 0 ||
+        delta_max > 2147483647LL) {
+      *error = "delta_max must be a positive int";
+      return false;
+    }
+    config->release.delta_max = static_cast<int>(delta_max);
+  }
+  return true;
+}
+
+void PrintBudget(const BudgetReport& budget) {
+  std::printf(
+      "ok total=%.6g spent=%.6g remaining=%.6g charges=%d refusals=%d\n",
+      budget.total, budget.spent, budget.remaining, budget.num_charges,
+      budget.num_refusals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  ReleaseServer server(seed);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream stream(line);
+    std::vector<std::string> args;
+    std::string token;
+    while (stream >> token) args.push_back(token);
+    if (args.empty() || args[0][0] == '#') continue;
+    const std::string& command = args[0];
+
+    if (command == "quit") {
+      std::printf("ok bye\n");
+      return 0;
+    }
+
+    if (command == "load") {
+      if (args.size() < 3 || args.size() > 5) {
+        std::printf("err usage: load <name> <path> [budget] [delta_max]\n");
+        continue;
+      }
+      ServeGraphConfig config;
+      std::string error;
+      if (!ParseConfigTail(args, 3, &config, &error)) {
+        std::printf("err %s\n", error.c_str());
+        continue;
+      }
+      const Status loaded = server.LoadFromFile(args[1], args[2], config);
+      if (!loaded.ok()) {
+        std::printf("err %s\n", loaded.ToString().c_str());
+        continue;
+      }
+      const auto stats = server.Stats(args[1]);
+      std::printf("ok loaded %s n=%d m=%d budget=%.6g warmed=%d\n",
+                  args[1].c_str(), stats->num_vertices, stats->num_edges,
+                  stats->budget.total, stats->family_warmed ? 1 : 0);
+    } else if (command == "gen") {
+      if (args.size() < 6 || args.size() > 8 || args[2] != "gnp") {
+        std::printf(
+            "err usage: gen <name> gnp <n> <avg_deg> <seed> [budget] "
+            "[delta_max]\n");
+        continue;
+      }
+      long long n = 0;
+      double avg_deg = 0.0;
+      long long gen_seed = 0;
+      if (!ParseNonNegativeInt(args[3], &n) || n <= 0 ||
+          n > 2147483647LL ||
+          !ParsePositiveDouble(args[4], &avg_deg) ||
+          !ParseNonNegativeInt(args[5], &gen_seed)) {
+        std::printf("err gen: bad n / avg_deg / seed\n");
+        continue;
+      }
+      ServeGraphConfig config;
+      std::string error;
+      if (!ParseConfigTail(args, 6, &config, &error)) {
+        std::printf("err %s\n", error.c_str());
+        continue;
+      }
+      Rng rng(static_cast<std::uint64_t>(gen_seed));
+      Graph g = gen::ErdosRenyi(static_cast<int>(n),
+                                avg_deg / static_cast<double>(n), rng);
+      const int num_vertices = g.NumVertices();
+      const int num_edges = g.NumEdges();
+      const Status loaded = server.Load(args[1], std::move(g), config);
+      if (!loaded.ok()) {
+        std::printf("err %s\n", loaded.ToString().c_str());
+        continue;
+      }
+      std::printf("ok generated %s n=%d m=%d budget=%.6g\n", args[1].c_str(),
+                  num_vertices, num_edges, config.total_epsilon);
+    } else if (command == "save") {
+      if (args.size() < 3 || args.size() > 4) {
+        std::printf("err usage: save <name> <path> [text|binary]\n");
+        continue;
+      }
+      const bool text = args.size() == 4 && args[3] == "text";
+      if (args.size() == 4 && args[3] != "text" && args[3] != "binary") {
+        std::printf("err save: format must be text or binary\n");
+        continue;
+      }
+      const Status saved = server.Save(args[1], args[2], /*binary=*/!text);
+      if (!saved.ok()) {
+        std::printf("err %s\n", saved.ToString().c_str());
+        continue;
+      }
+      std::printf("ok saved %s %s\n", args[1].c_str(),
+                  text ? "text" : "binary");
+    } else if (command == "release_cc" || command == "release_sf") {
+      if (args.size() != 3) {
+        std::printf("err usage: %s <name> <epsilon>\n", command.c_str());
+        continue;
+      }
+      double epsilon = 0.0;
+      if (!ParsePositiveDouble(args[2], &epsilon)) {
+        std::printf("err epsilon must be a positive number\n");
+        continue;
+      }
+      if (command == "release_cc") {
+        const auto release = server.ReleaseCc(args[1], epsilon);
+        if (!release.ok()) {
+          std::printf("err %s\n", release.status().ToString().c_str());
+          continue;
+        }
+        std::printf("ok cc=%.3f eps=%.6g delta=%d\n", release->estimate,
+                    epsilon, release->forest.selected_delta);
+      } else {
+        const auto release = server.ReleaseSf(args[1], epsilon);
+        if (!release.ok()) {
+          std::printf("err %s\n", release.status().ToString().c_str());
+          continue;
+        }
+        std::printf("ok sf=%.3f eps=%.6g delta=%d\n", release->estimate,
+                    epsilon, release->selected_delta);
+      }
+    } else if (command == "sweep") {
+      if (args.size() < 3) {
+        std::printf("err usage: sweep <name> <eps1> <eps2> ...\n");
+        continue;
+      }
+      std::vector<double> epsilons;
+      bool bad = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        double epsilon = 0.0;
+        if (!ParsePositiveDouble(args[i], &epsilon)) {
+          bad = true;
+          break;
+        }
+        epsilons.push_back(epsilon);
+      }
+      if (bad) {
+        std::printf("err sweep: every epsilon must be a positive number\n");
+        continue;
+      }
+      const auto releases = server.SweepCc(args[1], epsilons);
+      if (!releases.ok()) {
+        std::printf("err %s\n", releases.status().ToString().c_str());
+        continue;
+      }
+      std::printf("ok sweep k=%zu", releases->size());
+      for (std::size_t i = 0; i < releases->size(); ++i) {
+        std::printf(" %.6g:%.3f", epsilons[i], (*releases)[i].estimate);
+      }
+      std::printf("\n");
+    } else if (command == "budget") {
+      if (args.size() != 2) {
+        std::printf("err usage: budget <name>\n");
+        continue;
+      }
+      const auto budget = server.Budget(args[1]);
+      if (!budget.ok()) {
+        std::printf("err %s\n", budget.status().ToString().c_str());
+        continue;
+      }
+      PrintBudget(*budget);
+    } else if (command == "stats") {
+      if (args.size() == 1) {
+        const auto names = server.GraphNames();
+        const auto cache = server.family_cache_stats();
+        std::printf("ok graphs=%zu cache_entries=%d cache_hits=%lld "
+                    "cache_misses=%lld\n",
+                    names.size(), cache.entries, cache.hits, cache.misses);
+      } else if (args.size() == 2) {
+        const auto stats = server.Stats(args[1]);
+        if (!stats.ok()) {
+          std::printf("err %s\n", stats.status().ToString().c_str());
+          continue;
+        }
+        std::printf(
+            "ok n=%d m=%d memory_bytes=%zu warmed=%d answered=%lld "
+            "failed=%lld spent=%.6g remaining=%.6g lp_evals=%d "
+            "fast_certs=%d cache_hits=%d\n",
+            stats->num_vertices, stats->num_edges, stats->graph_memory_bytes,
+            stats->family_warmed ? 1 : 0, stats->queries_answered,
+            stats->queries_failed, stats->budget.spent,
+            stats->budget.remaining, stats->family.lp_evaluations,
+            stats->family.fast_certificates, stats->family.cache_hits);
+      } else {
+        std::printf("err usage: stats [<name>]\n");
+      }
+    } else if (command == "evict") {
+      if (args.size() != 2) {
+        std::printf("err usage: evict <name>\n");
+        continue;
+      }
+      const Status evicted = server.Evict(args[1]);
+      if (!evicted.ok()) {
+        std::printf("err %s\n", evicted.ToString().c_str());
+        continue;
+      }
+      std::printf("ok evicted %s\n", args[1].c_str());
+    } else {
+      std::printf("err unknown command '%s'\n", command.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

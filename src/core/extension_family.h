@@ -38,8 +38,9 @@ namespace nodedp {
 // snapshots. Returned values are identical regardless of interleaving (the
 // LP optimum does not depend on which valid cuts seed it), but concurrent
 // cold callers may duplicate cell work, so warm the family first (one
-// Values() call over the grid) when sharing it across threads. stats() is
-// unsynchronized: read it only while no call is in flight.
+// Values() call over the grid) when sharing it across threads. stats()
+// returns a snapshot copy taken under the same mutex, so it is safe to call
+// while queries are in flight (the serving layer does).
 class ExtensionFamily {
  public:
   // Copies `g` (components of interest, that is) so the family owns its
@@ -84,7 +85,12 @@ class ExtensionFamily {
     int cuts_added = 0;
     long long simplex_iterations = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Snapshot copy, taken under the internal mutex (all mutations happen
+  // under it too), so concurrent callers see a consistent view.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   struct ComponentState {

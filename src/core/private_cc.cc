@@ -17,6 +17,14 @@ double DefaultBeta(int num_vertices) {
   return std::clamp(beta, 0.01, 0.25);
 }
 
+std::vector<double> AlgorithmOneDeltaGrid(int num_vertices,
+                                          const PrivateCcOptions& options) {
+  const int delta_max =
+      options.delta_max > 0 ? options.delta_max : std::max(1, num_vertices);
+  const std::vector<int> grid = PowersOfTwoGrid(delta_max);
+  return std::vector<double>(grid.begin(), grid.end());
+}
+
 Result<SpanningForestRelease> PrivateSpanningForestSize(
     const Graph& g, double epsilon, Rng& rng,
     const PrivateCcOptions& options) {
@@ -152,6 +160,52 @@ std::vector<Result<ConnectedComponentsRelease>> ReleaseBatch(
       queries, rng, [&options](const ReleaseQuery& query, Rng& child) {
         return PrivateConnectedComponents(*query.graph, query.epsilon, child,
                                           options);
+      });
+}
+
+namespace {
+
+// Shared shape of both sweep entry points: warm the family's Δ grid once
+// (the ε-independent work), then answer every ε on the pool. A warm-up
+// failure (LP resource exhaustion) is reported in every slot — the per-ε
+// releases could not have succeeded either.
+template <typename ReleaseType, typename ReleaseFn>
+std::vector<Result<ReleaseType>> AnswerSweep(
+    ExtensionFamily& family, const std::vector<double>& epsilons, Rng& rng,
+    const PrivateCcOptions& options, const ReleaseFn& release) {
+  const Result<std::vector<double>> warm =
+      family.Values(AlgorithmOneDeltaGrid(family.num_vertices(), options));
+  if (!warm.ok()) {
+    return std::vector<Result<ReleaseType>>(epsilons.size(), warm.status());
+  }
+  return ParallelMapSeeded(
+      rng, static_cast<std::int64_t>(epsilons.size()),
+      [&](std::int64_t i, Rng& child) -> Result<ReleaseType> {
+        const double epsilon = epsilons[static_cast<std::size_t>(i)];
+        if (!(epsilon > 0.0)) {
+          return Status::InvalidArgument("sweep epsilon must be > 0");
+        }
+        return release(epsilon, child);
+      });
+}
+
+}  // namespace
+
+std::vector<Result<SpanningForestRelease>> SweepSpanningForest(
+    ExtensionFamily& family, const std::vector<double>& epsilons, Rng& rng,
+    const PrivateCcOptions& options) {
+  return AnswerSweep<SpanningForestRelease>(
+      family, epsilons, rng, options, [&](double epsilon, Rng& child) {
+        return PrivateSpanningForestSize(family, epsilon, child, options);
+      });
+}
+
+std::vector<Result<ConnectedComponentsRelease>> SweepConnectedComponents(
+    ExtensionFamily& family, const std::vector<double>& epsilons, Rng& rng,
+    const PrivateCcOptions& options) {
+  return AnswerSweep<ConnectedComponentsRelease>(
+      family, epsilons, rng, options, [&](double epsilon, Rng& child) {
+        return PrivateConnectedComponents(family, epsilon, child, options);
       });
 }
 

@@ -87,6 +87,15 @@ Result<ConnectedComponentsRelease> PrivateConnectedComponents(
 // The β the paper uses, 1/ln(ln n), clamped for small n.
 double DefaultBeta(int num_vertices);
 
+// The Δ grid Algorithm 1 evaluates — PowersOfTwoGrid over options.delta_max
+// (the paper's default of n when <= 0) — as doubles ready for
+// ExtensionFamily::Values. The single source of the grid for warm-up
+// paths: the sweep entry points below and the serving layer's load-time
+// warm both use it, so a warmed family always has exactly the cells a
+// later sweep will touch.
+std::vector<double> AlgorithmOneDeltaGrid(int num_vertices,
+                                          const PrivateCcOptions& options);
+
 // ---------------------------------------------------------------------------
 // Batched serving
 //
@@ -115,6 +124,30 @@ std::vector<Result<SpanningForestRelease>> ReleaseSpanningForestBatch(
 // Releases f_cc(G) for every query (Eq. (1)).
 std::vector<Result<ConnectedComponentsRelease>> ReleaseBatch(
     const std::vector<ReleaseQuery>& queries, Rng& rng,
+    const PrivateCcOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Epsilon sweeps on one warmed family
+//
+// The release-server shape: many releases at different ε against the SAME
+// graph. The expensive part of Algorithm 1 — evaluating {f_Δ} over the grid
+// — does not depend on ε, so the sweep warms the family's grid once and then
+// answers every ε concurrently against the cached values; each release pays
+// only for GEM scoring and noise sampling. Child Rngs are split in epsilon
+// order before dispatch, so results are bit-identical at any thread count.
+//
+// Privacy: all releases read the same database, so publishing the sweep
+// costs Σ ε_i by sequential composition (Lemma 2.4) — the caller (e.g.
+// serve/ReleaseServer's budget ledger) is responsible for accounting the
+// sum, exactly as with repeated single releases.
+// ---------------------------------------------------------------------------
+
+std::vector<Result<SpanningForestRelease>> SweepSpanningForest(
+    ExtensionFamily& family, const std::vector<double>& epsilons, Rng& rng,
+    const PrivateCcOptions& options = {});
+
+std::vector<Result<ConnectedComponentsRelease>> SweepConnectedComponents(
+    ExtensionFamily& family, const std::vector<double>& epsilons, Rng& rng,
     const PrivateCcOptions& options = {});
 
 }  // namespace nodedp

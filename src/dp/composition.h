@@ -23,11 +23,19 @@ class PrivacyAccountant {
     NODEDP_CHECK_GT(total_epsilon, 0.0);
   }
 
+  // Whether a charge of `epsilon` fits the remaining budget (up to a tiny
+  // numeric slack). The single admission predicate: Spend CHECKs it, and
+  // refusal-style callers (serve/BudgetLedger) test it first — keeping both
+  // on the same arithmetic so an admitted charge can never fail the Spend.
+  bool CanSpend(double epsilon) const {
+    return epsilon > 0.0 && spent_ + epsilon <= total_ * (1.0 + 1e-12);
+  }
+
   // Reserves `epsilon` of budget for the named mechanism. CHECK-fails if the
-  // total would be exceeded (beyond a tiny numeric slack).
+  // total would be exceeded.
   double Spend(double epsilon, std::string label) {
     NODEDP_CHECK_GT(epsilon, 0.0);
-    NODEDP_CHECK_MSG(spent_ + epsilon <= total_ * (1.0 + 1e-12),
+    NODEDP_CHECK_MSG(CanSpend(epsilon),
                      "privacy budget exceeded by '" << label << "': spent "
                                                     << spent_ << " + "
                                                     << epsilon << " > "

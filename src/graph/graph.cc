@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "util/check.h"
 
@@ -39,6 +41,19 @@ Graph::Graph(int num_vertices, std::vector<Edge> edges, SortedUniqueTag)
 
 Graph Graph::FromSortedEdges(int num_vertices, std::vector<Edge> edges) {
   return Graph(num_vertices, std::move(edges), SortedUniqueTag{});
+}
+
+Result<Graph> Graph::TryFromSortedEdges(std::int64_t num_vertices,
+                                        std::vector<Edge> edges) {
+  if (num_vertices < 0 || num_vertices > kMaxVertices) {
+    return Status::InvalidArgument(
+        "vertex count out of int range: " + std::to_string(num_vertices));
+  }
+  if (static_cast<std::int64_t>(edges.size()) > kMaxEdges) {
+    return Status::InvalidArgument(
+        "edge count out of int range: " + std::to_string(edges.size()));
+  }
+  return FromSortedEdges(static_cast<int>(num_vertices), std::move(edges));
 }
 
 void Graph::BuildCsr() {
@@ -108,6 +123,11 @@ bool GraphBuilder::AddEdge(int u, int v) {
   NODEDP_CHECK_LT(u, num_vertices_);
   NODEDP_CHECK_LT(v, num_vertices_);
   if (u == v) return false;
+  // Loud backstop against int overflow of edge ids; the Status-returning
+  // guards live in the ingestion paths (graph_io header checks,
+  // Graph::TryFromSortedEdges), which reject oversized inputs before any
+  // AddEdge loop could get here.
+  NODEDP_CHECK_LT(static_cast<std::int64_t>(edges_.size()), Graph::kMaxEdges);
   if (!reserved_) ReserveEdges(num_vertices_);
   if (!seen_.insert(Key(u, v)).second) return false;
   edges_.emplace_back(u, v);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "util/span.h"
+#include "util/status.h"
 
 namespace nodedp {
 
@@ -49,6 +50,13 @@ struct Edge {
 
 class Graph {
  public:
+  // Vertex and edge counts are int-indexed throughout the library (CSR
+  // offsets, LP variable ids). These are the hard caps the ingestion paths
+  // (graph_io readers, TryFromSortedEdges) enforce with a non-OK Status
+  // instead of overflowing.
+  static constexpr std::int64_t kMaxVertices = 2147483647;  // INT32_MAX
+  static constexpr std::int64_t kMaxEdges = 2147483647;     // INT32_MAX
+
   // Empty graph with zero vertices.
   Graph() = default;
 
@@ -63,6 +71,13 @@ class Graph {
   // debug builds), sorting, and deduplication: construction is one counting
   // pass plus one fill pass over `edges`.
   static Graph FromSortedEdges(int num_vertices, std::vector<Edge> edges);
+
+  // Checked variant for ingestion paths that carry counts wider than int
+  // (file headers, streaming readers): rejects vertex or edge counts beyond
+  // kMaxVertices/kMaxEdges with InvalidArgument instead of truncating,
+  // then delegates to FromSortedEdges.
+  static Result<Graph> TryFromSortedEdges(std::int64_t num_vertices,
+                                          std::vector<Edge> edges);
 
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;

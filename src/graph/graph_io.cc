@@ -1,10 +1,15 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "util/stringutil.h"
 
@@ -110,6 +115,211 @@ Status WriteEdgeListFile(const Graph& g, const std::string& path) {
 Result<Graph> ReadEdgeListFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadEdgeList(in);
+}
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kGraphBinaryMagic[4] = {'N', 'D', 'P', 'G'};
+constexpr std::size_t kBinaryHeaderBytes = 24;
+// 8 bytes per edge record; 64K edges per chunk keeps the streaming buffer
+// at 512 KiB regardless of graph size.
+constexpr std::size_t kEdgesPerChunk = 65536;
+
+// Little-endian encode/decode, independent of host byte order.
+void PutU32(unsigned char* p, std::uint32_t x) {
+  p[0] = static_cast<unsigned char>(x);
+  p[1] = static_cast<unsigned char>(x >> 8);
+  p[2] = static_cast<unsigned char>(x >> 16);
+  p[3] = static_cast<unsigned char>(x >> 24);
+}
+
+void PutU64(unsigned char* p, std::uint64_t x) {
+  PutU32(p, static_cast<std::uint32_t>(x));
+  PutU32(p + 4, static_cast<std::uint32_t>(x >> 32));
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t GetU64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, std::ostream& out) {
+  unsigned char header[kBinaryHeaderBytes];
+  std::memcpy(header, kGraphBinaryMagic, 4);
+  PutU32(header + 4, kGraphBinaryVersion);
+  PutU64(header + 8, static_cast<std::uint64_t>(g.NumVertices()));
+  PutU64(header + 16, static_cast<std::uint64_t>(g.NumEdges()));
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+
+  // Edges() is already sorted with u < v, so the records go out in exactly
+  // the order the reader requires.
+  std::vector<unsigned char> buffer;
+  buffer.reserve(kEdgesPerChunk * 8);
+  for (const Edge& e : g.Edges()) {
+    unsigned char record[8];
+    PutU32(record, static_cast<std::uint32_t>(e.u));
+    PutU32(record + 4, static_cast<std::uint32_t>(e.v));
+    buffer.insert(buffer.end(), record, record + 8);
+    if (buffer.size() >= kEdgesPerChunk * 8) {
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+  }
+  out.flush();
+  if (!out) return Status::IoError("binary write failed");
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphBinary(std::istream& in) {
+  unsigned char header[kBinaryHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::IoError("binary graph: truncated header");
+  }
+  if (std::memcmp(header, kGraphBinaryMagic, 4) != 0) {
+    return Status::IoError("binary graph: bad magic (not an NDPG file)");
+  }
+  const std::uint32_t version = GetU32(header + 4);
+  if (version != kGraphBinaryVersion) {
+    return Status::IoError("binary graph: unsupported format version " +
+                           std::to_string(version) + " (this build reads " +
+                           std::to_string(kGraphBinaryVersion) + ")");
+  }
+  const std::int64_t num_vertices =
+      static_cast<std::int64_t>(GetU64(header + 8));
+  const std::int64_t num_edges = static_cast<std::int64_t>(GetU64(header + 16));
+  if (num_vertices < 0 || num_vertices > Graph::kMaxVertices) {
+    return Status::IoError("binary graph: vertex count out of int range: " +
+                           std::to_string(num_vertices));
+  }
+  if (num_edges < 0 || num_edges > Graph::kMaxEdges) {
+    return Status::IoError("binary graph: edge count out of int range: " +
+                           std::to_string(num_edges));
+  }
+
+  // A crafted header must not be able to force a huge allocation before the
+  // payload proves it is real: when the stream is seekable, verify the edge
+  // section is actually present before reserving for it; otherwise (pipes)
+  // cap the up-front reserve and let the vector grow against validated data.
+  std::int64_t reserve_edges = num_edges;
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1)) {
+      const std::int64_t payload_bytes = static_cast<std::int64_t>(end - here);
+      if (payload_bytes < num_edges * 8) {
+        return Status::IoError(
+            "binary graph: truncated edge section (header says " +
+            std::to_string(num_edges) + " edges, payload holds " +
+            std::to_string(payload_bytes / 8) + ")");
+      }
+    }
+  } else {
+    in.clear();  // tellg on a failed/unseekable stream sets failbit
+    reserve_edges =
+        std::min<std::int64_t>(num_edges,
+                               static_cast<std::int64_t>(kEdgesPerChunk) * 16);
+  }
+
+  // Stream the records in chunks, validating and appending directly into the
+  // final sorted edge array — this vector is moved into the Graph, so the
+  // whole load is one pass with no intermediate representation.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(reserve_edges));
+  std::vector<unsigned char> buffer(kEdgesPerChunk * 8);
+  std::int64_t remaining = num_edges;
+  Edge previous{-1, -1};
+  while (remaining > 0) {
+    const std::size_t batch =
+        remaining < static_cast<std::int64_t>(kEdgesPerChunk)
+            ? static_cast<std::size_t>(remaining)
+            : kEdgesPerChunk;
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(batch * 8));
+    if (in.gcount() != static_cast<std::streamsize>(batch * 8)) {
+      const std::size_t received =
+          edges.size() + static_cast<std::size_t>(in.gcount()) / 8;
+      return Status::IoError(
+          "binary graph: truncated edge section (header says " +
+          std::to_string(num_edges) + " edges, got " +
+          std::to_string(received) + ")");
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::uint32_t raw_u = GetU32(buffer.data() + i * 8);
+      const std::uint32_t raw_v = GetU32(buffer.data() + i * 8 + 4);
+      const std::int64_t u = raw_u;
+      const std::int64_t v = raw_v;
+      if (u >= num_vertices || v >= num_vertices) {
+        return Status::IoError(
+            "binary graph: edge " + std::to_string(edges.size()) +
+            ": endpoint out of range (" + std::to_string(u) + ", " +
+            std::to_string(v) + ") with " + std::to_string(num_vertices) +
+            " vertices");
+      }
+      if (u >= v) {
+        return Status::IoError("binary graph: edge " +
+                               std::to_string(edges.size()) +
+                               ": endpoints not in u < v order (" +
+                               std::to_string(u) + ", " + std::to_string(v) +
+                               ")");
+      }
+      const Edge e{static_cast<int>(u), static_cast<int>(v)};
+      if (!(previous < e)) {
+        return Status::IoError("binary graph: edge " +
+                               std::to_string(edges.size()) +
+                               ": records not strictly ascending");
+      }
+      previous = e;
+      edges.push_back(e);
+    }
+    remaining -= static_cast<std::int64_t>(batch);
+  }
+  return Graph::TryFromSortedEdges(num_vertices, std::move(edges));
+}
+
+Status WriteGraphBinaryFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteGraphBinary(g, out);
+}
+
+Result<Graph> ReadGraphBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadGraphBinary(in);
+}
+
+Result<Graph> ReadGraphAnyFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  const bool binary = in.gcount() == 4 &&
+                      std::memcmp(magic, kGraphBinaryMagic, 4) == 0;
+  in.clear();
+  in.seekg(0);
+  if (binary) return ReadGraphBinary(in);
   return ReadEdgeList(in);
 }
 

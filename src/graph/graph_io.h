@@ -1,16 +1,35 @@
-// Plain-text edge-list serialization.
+// Graph serialization: a plain-text edge list (human-editable) and a binary
+// format with a streaming reader (the server ingestion path).
 //
-// Format:
+// Text format:
 //   # comment lines start with '#'
 //   <num_vertices> <num_edges>
 //   <u> <v>          (one line per edge)
 //
 // Reading tolerates duplicate edges (collapsed) but rejects self-loops and
 // out-of-range endpoints with a non-OK Status.
+//
+// Binary format ("NDPG", version 1, little-endian; full spec in
+// docs/SERVING.md):
+//   bytes 0..3    magic "NDPG"
+//   bytes 4..7    format version (u32) — currently 1
+//   bytes 8..15   num_vertices (i64)
+//   bytes 16..23  num_edges (i64)
+//   then          num_edges records of (u, v) as two u32, with u < v,
+//                 strictly ascending in (u, v) order, duplicate-free
+//
+// The reader streams edge records in fixed-size chunks directly into the
+// final sorted edge array (no intermediate pair list, no sort, no dedup
+// set) and finishes with Graph::FromSortedEdges — one validation pass and
+// one CSR build, so million-vertex graphs load in a single pass. Sortedness,
+// endpoint ranges, self-loops, duplicates, truncation, magic/version
+// mismatches, and counts that would overflow int32 are all rejected with a
+// non-OK Status.
 
 #ifndef NODEDP_GRAPH_GRAPH_IO_H_
 #define NODEDP_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -28,6 +47,29 @@ Result<Graph> ReadEdgeList(std::istream& in);
 // File convenience wrappers.
 Status WriteEdgeListFile(const Graph& g, const std::string& path);
 Result<Graph> ReadEdgeListFile(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+// The version this build writes and the only one it accepts.
+inline constexpr std::uint32_t kGraphBinaryVersion = 1;
+
+// Writes g in binary format. Streams are expected to be opened in binary
+// mode (std::ios::binary) when backed by files.
+Status WriteGraphBinary(const Graph& g, std::ostream& out);
+
+// Streaming binary reader: validates the header, then ingests edges in
+// chunks straight into CSR construction.
+Result<Graph> ReadGraphBinary(std::istream& in);
+
+// File convenience wrappers (open in binary mode).
+Status WriteGraphBinaryFile(const Graph& g, const std::string& path);
+Result<Graph> ReadGraphBinaryFile(const std::string& path);
+
+// Sniffs the magic bytes and dispatches to the binary or text reader — the
+// loader behind `serve_cli load`, so one command accepts either format.
+Result<Graph> ReadGraphAnyFile(const std::string& path);
 
 }  // namespace nodedp
 

@@ -1,0 +1,95 @@
+#include "serve/family_cache.h"
+
+#include <utility>
+
+namespace nodedp {
+
+Result<std::shared_ptr<ExtensionFamily>> FamilyCache::GetOrCreate(
+    const std::string& key, const Graph& g,
+    const std::vector<double>& warm_grid, const ExtensionOptions& options) {
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end()) {
+        it = slots_.emplace(key, std::make_shared<Slot>()).first;
+      }
+      slot = it->second;
+    }
+
+    // Build (or find built) under the slot mutex only: same-key callers
+    // serialize here and all but the first hit; other keys are unaffected.
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    if (slot->family != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hits_;
+      return slot->family;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end() || it->second != slot) {
+        // The builder we waited behind failed its warm-up and dropped the
+        // slot: start over on a fresh one so our build lands in the map
+        // (building into the orphan would cache nothing).
+        continue;
+      }
+      ++misses_;
+    }
+    auto family = std::make_shared<ExtensionFamily>(g, options);
+    if (!warm_grid.empty()) {
+      const Result<std::vector<double>> warm = family->Values(warm_grid);
+      if (!warm.ok()) {
+        // Drop the slot so the next caller starts clean.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = slots_.find(key);
+        if (it != slots_.end() && it->second == slot) slots_.erase(it);
+        return warm.status();
+      }
+    }
+    slot->family = std::move(family);
+    return slot->family;
+  }
+}
+
+std::shared_ptr<ExtensionFamily> FamilyCache::Get(
+    const std::string& key) const {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) return nullptr;
+    slot = it->second;
+  }
+  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  return slot->family;
+}
+
+void FamilyCache::Evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.erase(key);
+}
+
+FamilyCache::CacheStats FamilyCache::stats() const {
+  std::vector<std::shared_ptr<Slot>> slots;
+  CacheStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    slots.reserve(slots_.size());
+    for (const auto& [key, slot] : slots_) slots.push_back(slot);
+  }
+  // Telemetry must never block behind an in-flight build+warm (its slot
+  // mutex is held for the whole thing): a slot we cannot try_lock is
+  // mid-build, i.e. not a built entry yet — exactly how it is counted.
+  for (const auto& slot : slots) {
+    if (!slot->mu.try_lock()) continue;
+    if (slot->family != nullptr) ++s.entries;
+    slot->mu.unlock();
+  }
+  return s;
+}
+
+}  // namespace nodedp

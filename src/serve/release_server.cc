@@ -1,0 +1,270 @@
+#include "serve/release_server.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "graph/graph_io.h"
+
+namespace nodedp {
+
+namespace {
+
+// One decimal-formatted epsilon for ledger labels (std::to_string's six
+// digits of noise would make ledgers unreadable).
+std::string FormatEpsilon(double epsilon) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", epsilon);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+Status ReleaseServer::Load(const std::string& name, Graph g,
+                           const ServeGraphConfig& config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  if (!(config.total_epsilon > 0.0)) {
+    return Status::InvalidArgument("total_epsilon must be > 0, got " +
+                                   std::to_string(config.total_epsilon));
+  }
+  std::string cache_key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (registry_.count(name) != 0) {
+      return Status::InvalidArgument("graph '" + name +
+                                     "' is already loaded; evict it first");
+    }
+    cache_key = name + "#" + std::to_string(next_load_id_++);
+  }
+  auto entry =
+      std::make_shared<Entry>(std::move(g), config, std::move(cache_key));
+  if (config.prewarm) {
+    const auto family = FamilyFor(*entry);
+    if (!family.ok()) return family.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool inserted = registry_.emplace(name, entry).second;
+    if (!inserted) {
+      // Lost a race with a concurrent Load of the same name.
+      families_.Evict(entry->cache_key);
+      return Status::InvalidArgument("graph '" + name +
+                                     "' is already loaded; evict it first");
+    }
+  }
+  return Status::OK();
+}
+
+Status ReleaseServer::LoadFromFile(const std::string& name,
+                                   const std::string& path,
+                                   const ServeGraphConfig& config) {
+  Result<Graph> graph = ReadGraphAnyFile(path);
+  if (!graph.ok()) return graph.status();
+  return Load(name, std::move(graph).value(), config);
+}
+
+Status ReleaseServer::Save(const std::string& name, const std::string& path,
+                           bool binary) const {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  // The shared_ptr keeps the graph alive even if it is evicted mid-write.
+  const std::shared_ptr<Entry> entry = *found;
+  if (binary) return WriteGraphBinaryFile(entry->graph, path);
+  return WriteEdgeListFile(entry->graph, path);
+}
+
+Status ReleaseServer::Evict(const std::string& name) {
+  std::string cache_key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      return Status::NotFound("no graph named '" + name + "'");
+    }
+    cache_key = it->second->cache_key;
+    registry_.erase(it);
+  }
+  families_.Evict(cache_key);
+  return Status::OK();
+}
+
+std::vector<std::string> ReleaseServer::GraphNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, entry] : registry_) names.push_back(name);
+  return names;
+}
+
+Result<std::shared_ptr<ReleaseServer::Entry>> ReleaseServer::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<double> ReleaseServer::WarmGrid(const Entry& entry) {
+  return AlgorithmOneDeltaGrid(entry.graph.NumVertices(),
+                               entry.config.release);
+}
+
+Result<std::shared_ptr<ExtensionFamily>> ReleaseServer::FamilyFor(
+    Entry& entry) {
+  {
+    std::lock_guard<std::mutex> entry_lock(entry.mu);
+    if (entry.family != nullptr) return entry.family;
+  }
+  // The build+warm runs outside every server lock; FamilyCache serializes
+  // same-key builders and lets the losers hit the winner's family.
+  Result<std::shared_ptr<ExtensionFamily>> family =
+      families_.GetOrCreate(entry.cache_key, entry.graph, WarmGrid(entry),
+                            entry.config.release.extension);
+  if (!family.ok()) return family.status();
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  if (entry.family == nullptr) entry.family = *family;
+  return entry.family;
+}
+
+Rng ReleaseServer::SplitRng() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Split();
+}
+
+Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
+                                                     double epsilon_total,
+                                                     std::string label) {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  Admitted admitted;
+  admitted.entry = *found;
+  Entry& entry = *admitted.entry;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry.mu);
+    Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
+    if (!charged.ok()) return charged;
+    // Split atomically with the charge (entry.mu -> mu_, per the lock
+    // order), so the k-th ledger entry always carries the k-th stream.
+    admitted.child = SplitRng();
+  }
+  Result<std::shared_ptr<ExtensionFamily>> family = FamilyFor(entry);
+  if (!family.ok()) {
+    RecordOutcome(entry, /*ok=*/false, 0);
+    return family.status();
+  }
+  admitted.family = std::move(*family);
+  return admitted;
+}
+
+void ReleaseServer::RecordOutcome(Entry& entry, bool ok, long long answered) {
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  if (ok) {
+    entry.queries_answered += answered;
+  } else {
+    ++entry.queries_failed;  // budget stays charged (see budget_ledger.h)
+  }
+}
+
+Result<ConnectedComponentsRelease> ReleaseServer::ReleaseCc(
+    const std::string& name, double epsilon) {
+  Result<Admitted> admitted =
+      Admit(name, epsilon, "release_cc eps=" + FormatEpsilon(epsilon));
+  if (!admitted.ok()) return admitted.status();
+  Result<ConnectedComponentsRelease> release = PrivateConnectedComponents(
+      *admitted->family, epsilon, admitted->child,
+      admitted->entry->config.release);
+  RecordOutcome(*admitted->entry, release.ok(), 1);
+  return release;
+}
+
+Result<SpanningForestRelease> ReleaseServer::ReleaseSf(
+    const std::string& name, double epsilon) {
+  Result<Admitted> admitted =
+      Admit(name, epsilon, "release_sf eps=" + FormatEpsilon(epsilon));
+  if (!admitted.ok()) return admitted.status();
+  Result<SpanningForestRelease> release = PrivateSpanningForestSize(
+      *admitted->family, epsilon, admitted->child,
+      admitted->entry->config.release);
+  RecordOutcome(*admitted->entry, release.ok(), 1);
+  return release;
+}
+
+Result<std::vector<ConnectedComponentsRelease>> ReleaseServer::SweepCc(
+    const std::string& name, const std::vector<double>& epsilons) {
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("sweep needs at least one epsilon");
+  }
+  double sum = 0.0;
+  for (double epsilon : epsilons) {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("sweep epsilon must be > 0, got " +
+                                     std::to_string(epsilon));
+    }
+    sum += epsilon;
+  }
+  // All-or-nothing admission: one charge of Σ ε_i (Lemma 2.4).
+  Result<Admitted> admitted =
+      Admit(name, sum,
+            "sweep_cc k=" + std::to_string(epsilons.size()) +
+                " sum=" + FormatEpsilon(sum));
+  if (!admitted.ok()) return admitted.status();
+
+  std::vector<Result<ConnectedComponentsRelease>> slots =
+      SweepConnectedComponents(*admitted->family, epsilons, admitted->child,
+                               admitted->entry->config.release);
+  std::vector<ConnectedComponentsRelease> releases;
+  releases.reserve(slots.size());
+  Status first_error = Status::OK();
+  for (Result<ConnectedComponentsRelease>& slot : slots) {
+    if (!slot.ok()) {
+      if (first_error.ok()) first_error = slot.status();
+      continue;
+    }
+    releases.push_back(std::move(slot).value());
+  }
+  RecordOutcome(*admitted->entry, first_error.ok(),
+                static_cast<long long>(releases.size()));
+  if (!first_error.ok()) return first_error;
+  return releases;
+}
+
+Result<BudgetReport> ReleaseServer::Budget(const std::string& name) const {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  Entry& entry = **found;
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  BudgetReport report;
+  report.total = entry.ledger.total();
+  report.spent = entry.ledger.spent();
+  report.remaining = entry.ledger.remaining();
+  report.num_charges = entry.ledger.num_charges();
+  report.num_refusals = entry.ledger.num_refusals();
+  return report;
+}
+
+Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  Entry& entry = **found;
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  ServeGraphStats stats;
+  stats.num_vertices = entry.graph.NumVertices();
+  stats.num_edges = entry.graph.NumEdges();
+  stats.graph_memory_bytes = entry.graph.MemoryBytes();
+  stats.family_warmed = entry.family != nullptr;
+  stats.queries_answered = entry.queries_answered;
+  stats.queries_failed = entry.queries_failed;
+  stats.budget.total = entry.ledger.total();
+  stats.budget.spent = entry.ledger.spent();
+  stats.budget.remaining = entry.ledger.remaining();
+  stats.budget.num_charges = entry.ledger.num_charges();
+  stats.budget.num_refusals = entry.ledger.num_refusals();
+  if (entry.family != nullptr) stats.family = entry.family->stats();
+  return stats;
+}
+
+}  // namespace nodedp

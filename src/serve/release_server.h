@@ -1,0 +1,204 @@
+// ReleaseServer: the long-lived serving layer over Algorithm 1.
+//
+// The paper frames the mechanism as one-shot; a deployment holds graphs
+// resident and answers repeated queries. The server composes three parts:
+//
+//   * a named graph registry — Load/Evict keep graphs resident in CSR form;
+//   * a per-graph privacy-budget ledger (serve/budget_ledger.h) — every
+//     query is admitted against a configured total ε and refused with
+//     ResourceExhausted once the budget is exhausted (Lemma 2.4: answering
+//     queries ε_1..ε_t on the same graph costs Σ ε_i);
+//   * a warmed-family cache (serve/family_cache.h) — the ε-independent
+//     LP-grid work of Algorithm 1 is done once per graph at load time, so
+//     single releases, repeated queries, and whole ε sweeps are all served
+//     from one ExtensionFamily.
+//
+// Concurrency: all entry points are safe to call from multiple threads.
+// The registry map and the server Rng sit behind one mutex, each entry's
+// ledger/counters behind another (lock order: entry mutex, then server
+// mutex; never the reverse), and the heavy work — family construction,
+// grid evaluation, noise sampling — runs outside both, riding the
+// internally synchronized ExtensionFamily on the util/parallel.h pool.
+// Eviction during an in-flight query is safe: entries and families are
+// shared_ptr-held, so the query finishes against its own reference.
+//
+// Determinism: every admitted query atomically (under its graph's entry
+// mutex) charges the ledger and splits a child Rng off the server stream,
+// so the k-th admitted charge in a graph's ledger always carries the k-th
+// split taken while that entry held the server stream. A single-threaded
+// client issuing a fixed command sequence gets bit-identical releases for
+// a fixed seed; concurrent clients get streams that depend on admission
+// order, never on the worker schedule.
+
+#ifndef NODEDP_SERVE_RELEASE_SERVER_H_
+#define NODEDP_SERVE_RELEASE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/private_cc.h"
+#include "serve/budget_ledger.h"
+#include "serve/family_cache.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace nodedp {
+
+struct ServeGraphConfig {
+  // Total privacy budget for the lifetime of this graph in the registry.
+  // Every admitted query spends from it; once exhausted the graph can only
+  // be evicted. Must be > 0.
+  double total_epsilon = 10.0;
+  // Per-release knobs (Δmax, β, extension options). delta_max should be a
+  // data-independent public constant (e.g. a degree cap); <= 0 means the
+  // paper's default of n.
+  PrivateCcOptions release;
+  // Build and warm the extension family at load time (recommended: makes
+  // load the expensive step and every query cheap). When false the first
+  // query pays for construction.
+  bool prewarm = true;
+};
+
+struct BudgetReport {
+  double total = 0.0;
+  double spent = 0.0;
+  double remaining = 0.0;
+  int num_charges = 0;
+  int num_refusals = 0;
+};
+
+struct ServeGraphStats {
+  int num_vertices = 0;
+  int num_edges = 0;
+  std::size_t graph_memory_bytes = 0;
+  bool family_warmed = false;
+  long long queries_answered = 0;
+  long long queries_failed = 0;  // admitted but failed internally
+  BudgetReport budget;
+  ExtensionFamily::Stats family;  // zero-initialized until warmed
+};
+
+class ReleaseServer {
+ public:
+  explicit ReleaseServer(std::uint64_t seed = 1) : rng_(seed) {}
+
+  ReleaseServer(const ReleaseServer&) = delete;
+  ReleaseServer& operator=(const ReleaseServer&) = delete;
+
+  // Registers `g` under `name`. Fails with InvalidArgument if the name is
+  // empty, already registered, or the config is invalid; with the family
+  // warm-up error if prewarm fails. On failure nothing is registered.
+  Status Load(const std::string& name, Graph g,
+              const ServeGraphConfig& config = {});
+
+  // Load() from a graph file — binary (NDPG) or text edge list, sniffed by
+  // magic bytes (graph_io.h).
+  Status LoadFromFile(const std::string& name, const std::string& path,
+                      const ServeGraphConfig& config = {});
+
+  // Writes a registered graph back out — binary NDPG when `binary`, text
+  // edge list otherwise. The ops path for converting text corpora to the
+  // binary ingestion format. (The graph structure is the private database;
+  // saving it is an operator action, not a release.)
+  Status Save(const std::string& name, const std::string& path,
+              bool binary = true) const;
+
+  // Unregisters the graph and drops its cached family. In-flight queries
+  // against it finish normally.
+  Status Evict(const std::string& name);
+
+  std::vector<std::string> GraphNames() const;
+
+  // ε-node-private release of the number of connected components (Eq. (1)).
+  // Charges `epsilon` to the graph's ledger at admission; refuses with
+  // ResourceExhausted (ledger untouched) when the budget cannot cover it.
+  Result<ConnectedComponentsRelease> ReleaseCc(const std::string& name,
+                                               double epsilon);
+
+  // Same for the spanning-forest size (Algorithm 1).
+  Result<SpanningForestRelease> ReleaseSf(const std::string& name,
+                                          double epsilon);
+
+  // Releases f_cc at every ε in `epsilons` against the one warmed family.
+  // Admission is all-or-nothing: one ledger charge of Σ ε_i, refused
+  // entirely if the sum does not fit the remaining budget.
+  Result<std::vector<ConnectedComponentsRelease>> SweepCc(
+      const std::string& name, const std::vector<double>& epsilons);
+
+  Result<BudgetReport> Budget(const std::string& name) const;
+
+  // Registry + family telemetry for one graph. The family stats are a
+  // consistent snapshot (ExtensionFamily::stats() copies under its mutex),
+  // safe to read while queries are in flight.
+  Result<ServeGraphStats> Stats(const std::string& name) const;
+
+  FamilyCache::CacheStats family_cache_stats() const {
+    return families_.stats();
+  }
+
+ private:
+  struct Entry {
+    Entry(Graph graph_in, const ServeGraphConfig& config_in,
+          std::string cache_key_in)
+        : graph(std::move(graph_in)),
+          config(config_in),
+          cache_key(std::move(cache_key_in)),
+          ledger(config_in.total_epsilon) {}
+
+    const Graph graph;
+    const ServeGraphConfig config;
+    // Family-cache key: unique per load (name + load id), so re-loading a
+    // name after eviction can never alias the evicted graph's family.
+    const std::string cache_key;
+    std::mutex mu;  // guards ledger, family, counters
+    BudgetLedger ledger;
+    std::shared_ptr<ExtensionFamily> family;  // null until built
+    long long queries_answered = 0;
+    long long queries_failed = 0;
+  };
+
+  // A query that passed admission: its entry, its warmed family, and the
+  // child noise stream split at admission.
+  struct Admitted {
+    std::shared_ptr<Entry> entry;
+    std::shared_ptr<ExtensionFamily> family;
+    Rng child{0};
+  };
+
+  Result<std::shared_ptr<Entry>> Find(const std::string& name) const;
+
+  // The shared front half of every query: find the graph, charge
+  // `epsilon_total` under `label` (refusing on budget exhaustion), split
+  // the child stream atomically with the charge, then resolve the warmed
+  // family (built on first use, outside all server locks).
+  Result<Admitted> Admit(const std::string& name, double epsilon_total,
+                         std::string label);
+
+  // The Δ grid the family is warmed with (the Algorithm 1 access pattern).
+  static std::vector<double> WarmGrid(const Entry& entry);
+
+  // Returns the entry's family, building and warming it through the cache
+  // on first use. Takes entry.mu internally only for the pointer
+  // read/store; the build itself runs per-key-serialized in FamilyCache.
+  Result<std::shared_ptr<ExtensionFamily>> FamilyFor(Entry& entry);
+
+  // Splits a child stream off the server Rng (serialized by mu_; callers
+  // may hold entry.mu, per the lock order above).
+  Rng SplitRng();
+
+  void RecordOutcome(Entry& entry, bool ok, long long answered);
+
+  mutable std::mutex mu_;  // guards registry_, rng_, and next_load_id_
+  std::map<std::string, std::shared_ptr<Entry>> registry_;
+  FamilyCache families_;
+  Rng rng_;
+  long long next_load_id_ = 0;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_SERVE_RELEASE_SERVER_H_

@@ -1,0 +1,378 @@
+// Tests for the serve/ subsystem: budget ledger refusal semantics, the
+// warmed-family cache, and the ReleaseServer registry + query surface.
+
+#include "serve/release_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "serve/budget_ledger.h"
+#include "serve/family_cache.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+Graph TestGraph(int n = 200, double avg_deg = 1.5, uint64_t seed = 31) {
+  Rng rng(seed);
+  return gen::ErdosRenyi(n, avg_deg / n, rng);
+}
+
+ServeGraphConfig SmallConfig(double total_epsilon) {
+  ServeGraphConfig config;
+  config.total_epsilon = total_epsilon;
+  config.release.delta_max = 8;  // keeps the warm grid small in Debug
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// BudgetLedger
+// ---------------------------------------------------------------------------
+
+TEST(BudgetLedgerTest, ChargesAccumulate) {
+  BudgetLedger ledger(2.0);
+  EXPECT_TRUE(ledger.TryCharge(0.5, "a").ok());
+  EXPECT_TRUE(ledger.TryCharge(1.0, "b").ok());
+  EXPECT_DOUBLE_EQ(ledger.spent(), 1.5);
+  EXPECT_DOUBLE_EQ(ledger.remaining(), 0.5);
+  EXPECT_EQ(ledger.num_charges(), 2);
+  EXPECT_EQ(ledger.charges()[1].first, "b");
+}
+
+TEST(BudgetLedgerTest, RefusesOverspendAndLeavesLedgerUntouched) {
+  BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.TryCharge(0.6, "first").ok());
+  const Status refused = ledger.TryCharge(0.6, "second");
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  // The refused charge must not change any accounting.
+  EXPECT_DOUBLE_EQ(ledger.spent(), 0.6);
+  EXPECT_EQ(ledger.num_charges(), 1);
+  EXPECT_EQ(ledger.num_refusals(), 1);
+  // A fitting charge is still admitted afterwards.
+  EXPECT_TRUE(ledger.TryCharge(0.4, "third").ok());
+  EXPECT_DOUBLE_EQ(ledger.spent(), 1.0);
+  // And now the budget is exactly exhausted.
+  EXPECT_EQ(ledger.TryCharge(1e-6, "fourth").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetLedgerTest, ExactTotalIsAdmitted) {
+  BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.TryCharge(1.0, "all").ok());
+  EXPECT_DOUBLE_EQ(ledger.remaining(), 0.0);
+}
+
+TEST(BudgetLedgerTest, NonPositiveChargeIsInvalid) {
+  BudgetLedger ledger(1.0);
+  EXPECT_EQ(ledger.TryCharge(0.0, "zero").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.TryCharge(-1.0, "negative").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.num_charges(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// FamilyCache
+// ---------------------------------------------------------------------------
+
+TEST(FamilyCacheTest, SecondGetIsAHit) {
+  FamilyCache cache;
+  const Graph g = TestGraph(60);
+  const std::vector<double> grid = {1.0, 2.0, 4.0};
+  const auto first = cache.GetOrCreate("k", g, grid, {});
+  ASSERT_TRUE(first.ok());
+  const auto second = cache.GetOrCreate("k", g, grid, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(FamilyCacheTest, EvictedEntrySurvivesForHolders) {
+  FamilyCache cache;
+  const Graph g = TestGraph(60);
+  const auto family = cache.GetOrCreate("k", g, {1.0}, {});
+  ASSERT_TRUE(family.ok());
+  cache.Evict("k");
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  // The handed-out shared_ptr still answers queries.
+  const Result<double> value = (*family)->Value(1.0);
+  EXPECT_TRUE(value.ok());
+}
+
+// ---------------------------------------------------------------------------
+// ReleaseServer: registry
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseServerTest, LoadQueryEvictLifecycle) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(5.0)).ok());
+  EXPECT_EQ(server.GraphNames(), std::vector<std::string>{"g"});
+
+  const auto release = server.ReleaseCc("g", 0.5);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  EXPECT_TRUE(std::isfinite(release->estimate));
+
+  ASSERT_TRUE(server.Evict("g").ok());
+  EXPECT_TRUE(server.GraphNames().empty());
+  EXPECT_EQ(server.ReleaseCc("g", 0.5).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.Evict("g").code(), StatusCode::kNotFound);
+}
+
+TEST(ReleaseServerTest, DuplicateAndInvalidLoadsRejected) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(5.0)).ok());
+  EXPECT_EQ(server.Load("g", TestGraph(), SmallConfig(5.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Load("", TestGraph(), SmallConfig(5.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Load("h", TestGraph(), SmallConfig(0.0)).code(),
+            StatusCode::kInvalidArgument);
+  // A name freed by eviction is reusable.
+  ASSERT_TRUE(server.Evict("g").ok());
+  EXPECT_TRUE(server.Load("g", TestGraph(80), SmallConfig(5.0)).ok());
+}
+
+TEST(ReleaseServerTest, PrewarmBuildsFamilyAtLoad) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(5.0)).ok());
+  const auto stats = server.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->family_warmed);
+  EXPECT_GT(stats->num_vertices, 0);
+  EXPECT_GT(stats->graph_memory_bytes, 0u);
+
+  ServeGraphConfig lazy = SmallConfig(5.0);
+  lazy.prewarm = false;
+  ASSERT_TRUE(server.Load("h", TestGraph(), lazy).ok());
+  EXPECT_FALSE(server.Stats("h")->family_warmed);
+  ASSERT_TRUE(server.ReleaseCc("h", 0.5).ok());
+  EXPECT_TRUE(server.Stats("h")->family_warmed);
+}
+
+// ---------------------------------------------------------------------------
+// ReleaseServer: budget enforcement (the acceptance-criterion test)
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseServerTest, LedgerRefusesQueryExceedingTotal) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(1.0)).ok());
+
+  ASSERT_TRUE(server.ReleaseCc("g", 0.6).ok());
+  // 0.6 spent of 1.0: a 0.6 query must be refused, not served.
+  const auto refused = server.ReleaseCc("g", 0.6);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  // The refusal did not burn budget: 0.4 still fits.
+  auto budget = server.Budget("g");
+  ASSERT_TRUE(budget.ok());
+  EXPECT_DOUBLE_EQ(budget->spent, 0.6);
+  EXPECT_EQ(budget->num_refusals, 1);
+  ASSERT_TRUE(server.ReleaseCc("g", 0.4).ok());
+
+  // Budget is now exactly exhausted: everything is refused.
+  EXPECT_EQ(server.ReleaseCc("g", 0.01).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.ReleaseSf("g", 0.01).status().code(),
+            StatusCode::kResourceExhausted);
+  budget = server.Budget("g");
+  EXPECT_DOUBLE_EQ(budget->spent, 1.0);
+  EXPECT_EQ(budget->num_charges, 2);
+}
+
+TEST(ReleaseServerTest, SweepAdmissionIsAllOrNothing) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(1.0)).ok());
+
+  // Sum 1.2 > 1.0: the whole sweep is refused and nothing is charged.
+  const auto refused = server.SweepCc("g", {0.4, 0.4, 0.4});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(server.Budget("g")->spent, 0.0);
+
+  // Sum 0.9 fits: 3 releases come back, 0.9 is charged as one entry.
+  const auto sweep = server.SweepCc("g", {0.3, 0.3, 0.3});
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_EQ(sweep->size(), 3u);
+  const auto budget = server.Budget("g");
+  EXPECT_DOUBLE_EQ(budget->spent, 0.9);
+  EXPECT_EQ(budget->num_charges, 1);
+
+  EXPECT_EQ(server.SweepCc("g", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SweepCc("g", {0.05, -1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ReleaseServer: warmed-family amortization and determinism
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseServerTest, WarmQueriesDoNoNewLpWork) {
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(100.0)).ok());
+  const auto warmed = server.Stats("g");
+  ASSERT_TRUE(warmed.ok());
+  const int lp_after_warm = warmed->family.lp_evaluations;
+  const int fast_after_warm = warmed->family.fast_certificates;
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.ReleaseCc("g", 0.5).ok());
+  }
+  const auto after = server.Stats("g");
+  // Every post-warm query hits the value cache: no LP evaluations, no new
+  // certificates — only noise sampling.
+  EXPECT_EQ(after->family.lp_evaluations, lp_after_warm);
+  EXPECT_EQ(after->family.fast_certificates, fast_after_warm);
+  EXPECT_GT(after->family.cache_hits, 0);
+  EXPECT_EQ(after->queries_answered, 5);
+}
+
+TEST(ReleaseServerTest, SameSeedSameCommandsSameReleases) {
+  auto run = [](std::uint64_t seed) {
+    ReleaseServer server(seed);
+    EXPECT_TRUE(server.Load("g", TestGraph(), SmallConfig(100.0)).ok());
+    std::vector<double> estimates;
+    estimates.push_back(server.ReleaseCc("g", 0.5)->estimate);
+    estimates.push_back(server.ReleaseSf("g", 1.0)->estimate);
+    const auto sweep = server.SweepCc("g", {0.25, 0.5, 1.0, 2.0});
+    for (const auto& r : *sweep) estimates.push_back(r.estimate);
+    return estimates;
+  };
+  const std::vector<double> a = run(77);
+  const std::vector<double> b = run(77);
+  const std::vector<double> c = run(78);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ReleaseServerTest, SweepMatchesManualSweepOnSharedFamily) {
+  // The server's sweep must be the library SweepConnectedComponents on the
+  // warmed family with a child stream split from the server Rng — verify
+  // the values line up with a hand-driven replay of the same seed.
+  const Graph g = TestGraph();
+  ReleaseServer server(5);
+  ASSERT_TRUE(server.Load("g", g, SmallConfig(100.0)).ok());
+  const std::vector<double> epsilons = {0.5, 1.0, 2.0};
+  const auto via_server = server.SweepCc("g", epsilons);
+  ASSERT_TRUE(via_server.ok());
+
+  Rng parent(5);
+  Rng child = parent.Split();
+  ExtensionFamily family(g, {});
+  PrivateCcOptions options;
+  options.delta_max = 8;
+  const auto manual = SweepConnectedComponents(family, epsilons, child,
+                                               options);
+  ASSERT_EQ(manual.size(), via_server->size());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    ASSERT_TRUE(manual[i].ok());
+    EXPECT_DOUBLE_EQ(manual[i]->estimate, (*via_server)[i].estimate);
+  }
+}
+
+TEST(ReleaseServerTest, ConcurrentQueriesAndStatsAreSafe) {
+  // Hammers one warmed graph from several threads — releases, sweeps,
+  // budget reads, and stats snapshots interleaved — so TSan actually sees
+  // the server's lock discipline (including ExtensionFamily::stats()
+  // during in-flight queries). Budget is sized so nothing is refused.
+  ReleaseServer server(13);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(1e6)).ok());
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        if (t % 2 == 0) {
+          EXPECT_TRUE(server.ReleaseCc("g", 0.5).ok());
+        } else {
+          EXPECT_TRUE(server.SweepCc("g", {0.25, 0.5}).ok());
+        }
+        EXPECT_TRUE(server.Stats("g").ok());
+        EXPECT_TRUE(server.Budget("g").ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto stats = server.Stats("g");
+  // 2 threads x 8 single releases + 2 threads x 8 two-epsilon sweeps.
+  EXPECT_EQ(stats->queries_answered, 2 * 8 + 2 * 8 * 2);
+  EXPECT_EQ(stats->queries_failed, 0);
+  EXPECT_EQ(stats->budget.num_refusals, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ReleaseServer: file round trips
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseServerTest, SaveAndLoadFromFileRoundTrip) {
+  const std::string binary_path =
+      testing::TempDir() + "/nodedp_serve_test.ndpg";
+  const std::string text_path = testing::TempDir() + "/nodedp_serve_test.txt";
+  const Graph g = TestGraph(120);
+
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g", g, SmallConfig(5.0)).ok());
+  ASSERT_TRUE(server.Save("g", binary_path, /*binary=*/true).ok());
+  ASSERT_TRUE(server.Save("g", text_path, /*binary=*/false).ok());
+
+  // Both formats load back through the auto-detecting path.
+  ASSERT_TRUE(server.LoadFromFile("from_binary", binary_path,
+                                  SmallConfig(5.0)).ok());
+  ASSERT_TRUE(server.LoadFromFile("from_text", text_path,
+                                  SmallConfig(5.0)).ok());
+  EXPECT_EQ(server.Stats("from_binary")->num_edges, g.NumEdges());
+  EXPECT_EQ(server.Stats("from_text")->num_edges, g.NumEdges());
+
+  EXPECT_EQ(server.Save("missing", binary_path).code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.LoadFromFile("x", "/nonexistent/g.ndpg",
+                                SmallConfig(5.0)).code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Library-level sweep entry points
+// ---------------------------------------------------------------------------
+
+TEST(SweepTest, SweepIsDeterministicAtAnyWidthAndValidatesEpsilon) {
+  const Graph g = TestGraph();
+  PrivateCcOptions options;
+  options.delta_max = 8;
+
+  ExtensionFamily family_a(g, {});
+  Rng rng_a(3);
+  const auto a =
+      SweepConnectedComponents(family_a, {0.5, -1.0, 1.0}, rng_a, options);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a[0].ok());
+  EXPECT_EQ(a[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(a[2].ok());
+
+  ExtensionFamily family_b(g, {});
+  Rng rng_b(3);
+  const auto b =
+      SweepConnectedComponents(family_b, {0.5, -1.0, 1.0}, rng_b, options);
+  EXPECT_DOUBLE_EQ(a[0]->estimate, b[0]->estimate);
+  EXPECT_DOUBLE_EQ(a[2]->estimate, b[2]->estimate);
+
+  ExtensionFamily family_c(g, {});
+  Rng rng_c(3);
+  const auto c = SweepSpanningForest(family_c, {0.5, 1.0}, rng_c, options);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c[0].ok());
+  EXPECT_TRUE(c[1].ok());
+}
+
+}  // namespace
+}  // namespace nodedp
