@@ -21,9 +21,14 @@
 //       Releases at every listed ε against the one warmed family; charges
 //       Σ ε_i all-or-nothing.
 //   budget <name>        Ledger state: total / spent / remaining / refusals.
-//   stats [<name>]       Per-graph (or registry-wide) telemetry.
+//   stats [<name>]       Per-graph (or registry-wide) telemetry, including
+//                        family/cache memory bytes and cap evictions.
 //   evict <name>         Unregister and drop the warmed family.
 //   quit                 Exit 0 (EOF does the same).
+//
+// Environment: NODEDP_FAMILY_CACHE_BYTES caps total resident family memory;
+// least-recently-used families are evicted to fit (their graphs stay
+// registered — the next query rebuilds). Unset or 0 means unlimited.
 
 #include <cstdint>
 #include <cstdio>
@@ -259,9 +264,12 @@ int main(int argc, char** argv) {
       if (args.size() == 1) {
         const auto names = server.GraphNames();
         const auto cache = server.family_cache_stats();
-        std::printf("ok graphs=%zu cache_entries=%d cache_hits=%lld "
-                    "cache_misses=%lld\n",
-                    names.size(), cache.entries, cache.hits, cache.misses);
+        std::printf("ok graphs=%zu cache_entries=%d cache_warming=%d "
+                    "cache_bytes=%zu cache_cap=%zu cache_hits=%lld "
+                    "cache_misses=%lld cache_evictions=%lld\n",
+                    names.size(), cache.entries, cache.warming, cache.bytes,
+                    cache.byte_cap, cache.hits, cache.misses,
+                    cache.evictions);
       } else if (args.size() == 2) {
         const auto stats = server.Stats(args[1]);
         if (!stats.ok()) {
@@ -269,14 +277,15 @@ int main(int argc, char** argv) {
           continue;
         }
         std::printf(
-            "ok n=%d m=%d memory_bytes=%zu warmed=%d answered=%lld "
-            "failed=%lld spent=%.6g remaining=%.6g lp_evals=%d "
-            "fast_certs=%d cache_hits=%d\n",
+            "ok n=%d m=%d memory_bytes=%zu warmed=%d family_bytes=%zu "
+            "answered=%lld failed=%lld spent=%.6g remaining=%.6g "
+            "lp_evals=%d fast_certs=%d cache_hits=%d\n",
             stats->num_vertices, stats->num_edges, stats->graph_memory_bytes,
-            stats->family_warmed ? 1 : 0, stats->queries_answered,
-            stats->queries_failed, stats->budget.spent,
-            stats->budget.remaining, stats->family.lp_evaluations,
-            stats->family.fast_certificates, stats->family.cache_hits);
+            stats->family_warmed ? 1 : 0, stats->family_memory_bytes,
+            stats->queries_answered, stats->queries_failed,
+            stats->budget.spent, stats->budget.remaining,
+            stats->family.lp_evaluations, stats->family.fast_certificates,
+            stats->family.cache_hits);
       } else {
         std::printf("err usage: stats [<name>]\n");
       }

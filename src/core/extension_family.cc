@@ -1,5 +1,6 @@
 #include "core/extension_family.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <set>
@@ -13,43 +14,183 @@
 
 namespace nodedp {
 
+namespace {
+
+// Sorted-small-vector helpers for ComponentState::inflight_deltas (a
+// handful of grid Δs at most, so linear shifts beat node containers).
+bool SortedContains(const std::vector<double>& v, double x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void SortedInsert(std::vector<double>& v, double x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+void SortedErase(std::vector<double>& v, double x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+}  // namespace
+
 ExtensionFamily::ExtensionFamily(const Graph& g,
                                  const ExtensionOptions& options)
     : num_vertices_(g.NumVertices()), options_(options) {
-  f_sf_total_ = SpanningForestSize(g);
+  // Eager path: partition, then induce every component now, sharded across
+  // the pool, straight from the caller's graph (no host copy). Each item
+  // touches only its own component, so the resulting family is identical
+  // at any width.
+  InitComponents(g, /*retain_host=*/false);
+  ParallelFor(static_cast<std::int64_t>(components_.size()),
+              [this, &g](std::int64_t i) {
+                EnsureInduced(*components_[static_cast<std::size_t>(i)], g);
+              });
+}
+
+ExtensionFamily::ExtensionFamily(const Graph& g,
+                                 const ExtensionOptions& options,
+                                 DeferInduction)
+    : num_vertices_(g.NumVertices()), options_(options) {
+  InitComponents(g, /*retain_host=*/true);
+}
+
+ExtensionFamily::~ExtensionFamily() {
+  if (warm_thread_.joinable()) warm_thread_.join();
+}
+
+void ExtensionFamily::InitComponents(const Graph& g, bool retain_host) {
+  // The constructor's single whole-graph pass. Labels are assigned in order
+  // of each component's smallest vertex, so components_ keeps the same
+  // deterministic order the old ComponentVertexSets loop produced.
+  const std::vector<int> labels = ComponentLabels(g);
+  int num_components = 0;
+  for (int label : labels) num_components = std::max(num_components, label + 1);
+  // f_sf(G) = n - f_cc(G) (Eq. (1)) straight from the partition — the old
+  // separate SpanningForestSize union-find pass is gone.
+  f_sf_total_ = g.NumVertices() - num_components;
+
   if (!options_.decompose_components) {
     if (g.NumEdges() > 0) {
-      ComponentState state;
-      state.graph = g;
-      state.f_sf = f_sf_total_;
+      auto state = std::make_unique<ComponentState>();
+      state->graph = g;
+      state->f_sf = f_sf_total_;
+      state->induced.store(true, std::memory_order_release);
       components_.push_back(std::move(state));
     }
     return;
   }
-  for (const std::vector<int>& component : ComponentVertexSets(g)) {
-    if (component.size() < 2) continue;
-    ComponentState state;
-    state.graph = Induce(g, component).graph;
-    state.f_sf = SpanningForestSize(state.graph);
+
+  std::vector<int> sizes(num_components, 0);
+  for (int label : labels) ++sizes[label];
+  // Singleton components contribute nothing to any f_Δ; only label ->
+  // kept-component-index survivors get a state.
+  std::vector<int> kept(num_components, -1);
+  for (int label = 0; label < num_components; ++label) {
+    if (sizes[label] < 2) continue;
+    kept[label] = static_cast<int>(components_.size());
+    auto state = std::make_unique<ComponentState>();
+    state->vertices.reserve(static_cast<std::size_t>(sizes[label]));
+    state->f_sf = sizes[label] - 1;  // connected, by construction
     components_.push_back(std::move(state));
+  }
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    const int index = kept[labels[v]];
+    if (index >= 0) components_[static_cast<std::size_t>(index)]
+        ->vertices.push_back(v);
+  }
+  remaining_inductions_.store(static_cast<int>(components_.size()),
+                              std::memory_order_relaxed);
+  if (!components_.empty() && retain_host) {
+    host_graph_ = g;
+    host_released_ = false;
   }
 }
 
-Result<double> ExtensionFamily::Value(double delta) {
-  if (delta < 1.0) {
-    return Status::InvalidArgument("delta must be >= 1 (Algorithm 1 grid)");
+void ExtensionFamily::EnsureInduced(ComponentState& component,
+                                    const Graph& host) {
+  if (component.induced.load(std::memory_order_acquire)) return;
+  std::call_once(component.induce_once, [this, &component, &host] {
+    component.graph = InduceSortedGraph(host, component.vertices);
+    // The invariant that replaced the per-component spanning-forest pass:
+    // a connected component's spanning forest has exactly |C| - 1 edges.
+    NODEDP_DCHECK(SpanningForestSize(component.graph) ==
+                  static_cast<int>(component.f_sf));
+    component.induced.store(true, std::memory_order_release);
+    remaining_inductions_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void ExtensionFamily::MaybeReleaseHostGraphLocked() {
+  // Safe to free: a zero countdown (acquire) means every induction's
+  // host-graph read happened-before this load, and call_once guarantees no
+  // new induction body will ever run.
+  if (!host_released_ &&
+      remaining_inductions_.load(std::memory_order_acquire) == 0) {
+    host_graph_ = Graph();
+    host_released_ = true;
   }
-  // The whole sweep runs under the lock, LP solves included: Value() is the
-  // sequential entry point. Concurrent callers should prefer Values(),
-  // which only locks around planning and merging.
+}
+
+std::size_t ExtensionFamily::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  double total = 0.0;
-  for (ComponentState& component : components_) {
-    Result<double> value = ComponentValue(component, delta);
-    if (!value.ok()) return value.status();
-    total += *value;
+  std::size_t total = 0;
+  if (!host_released_) total += host_graph_.MemoryBytes();
+  total += components_.capacity() * sizeof(components_[0]);
+  for (const auto& component : components_) {
+    total += sizeof(ComponentState);
+    total += component->vertices.capacity() * sizeof(int);
+    if (component->induced.load(std::memory_order_acquire)) {
+      total += component->graph.MemoryBytes();
+    }
+    total += component->cut_pool.capacity() * sizeof(std::vector<int>);
+    for (const std::vector<int>& cut : component->cut_pool) {
+      total += cut.capacity() * sizeof(int);
+    }
+    total += component->inflight_deltas.capacity() * sizeof(double);
+    // Rough std::map node cost: payload + left/right/parent pointers and
+    // color, as allocators typically lay it out.
+    total += component->cached.size() *
+             (sizeof(std::pair<const double, double>) + 4 * sizeof(void*));
   }
   return total;
+}
+
+Status ExtensionFamily::Warm(const std::vector<double>& grid) {
+  if (grid.empty()) return Status::OK();
+  return Values(grid).status();
+}
+
+void ExtensionFamily::WarmAsync(std::vector<double> grid) {
+  {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    NODEDP_CHECK_MSG(warm_done_, "WarmAsync: a warm is already in flight");
+    warm_done_ = false;
+  }
+  if (warm_thread_.joinable()) warm_thread_.join();  // previous, finished
+  warm_thread_ = std::thread([this, grid = std::move(grid)] {
+    const Status status = Warm(grid);
+    {
+      std::lock_guard<std::mutex> lock(warm_mu_);
+      warm_status_ = status;
+      warm_done_ = true;
+    }
+    warm_cv_.notify_all();
+  });
+}
+
+Status ExtensionFamily::WaitWarm() {
+  std::unique_lock<std::mutex> lock(warm_mu_);
+  warm_cv_.wait(lock, [this] { return warm_done_; });
+  return warm_status_;
+}
+
+Result<double> ExtensionFamily::Value(double delta) {
+  // A one-Δ batch: same planning, claiming, and merge as any grid sweep,
+  // so a Value() racing a warm or another batch shares cells instead of
+  // re-solving them.
+  Result<std::vector<double>> values = Values({delta});
+  if (!values.ok()) return values.status();
+  return (*values)[0];
 }
 
 Result<std::vector<double>> ExtensionFamily::Values(
@@ -60,106 +201,168 @@ Result<std::vector<double>> ExtensionFamily::Values(
     }
   }
 
-  // Plan under the lock: every (component, Δ) pair not already settled by
-  // the watermark or the cache becomes a cell carrying snapshots of the
-  // mutable component state it will read (cut pool, fast-path floor).
-  // Settled pairs are counted here so the stats match a sequential sweep.
-  std::vector<CellTask> cells;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::set<double>> queued(components_.size());
-    for (double delta : deltas) {
-      for (std::size_t c = 0; c < components_.size(); ++c) {
-        ComponentState& component = components_[c];
-        if (delta >= component.exact_from) {
-          ++stats_.watermark_hits;
-          continue;
+  // Settled pairs are counted once, on the first planning pass, so the
+  // stats match a sequential sweep; retry passes (only reached when a
+  // concurrent caller's cell failed) must not recount them.
+  bool count_settled_stats = true;
+  for (;;) {
+    // Plan under the lock: every (component, Δ) pair not already settled by
+    // the watermark or the cache becomes a cell carrying snapshots of the
+    // mutable component state it will read (cut pool, fast-path floor) —
+    // unless a concurrent batch is already evaluating the identical cell,
+    // in which case we wait for that cell instead of re-solving it.
+    std::vector<CellTask> cells;
+    std::vector<std::pair<int, double>> awaited;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<std::set<double>> queued(components_.size());
+      for (double delta : deltas) {
+        for (std::size_t c = 0; c < components_.size(); ++c) {
+          ComponentState& component = *components_[c];
+          if (delta >= component.exact_from) {
+            if (count_settled_stats) ++stats_.watermark_hits;
+            continue;
+          }
+          if (component.cached.count(delta) > 0 ||
+              !queued[c].insert(delta).second) {
+            if (count_settled_stats) ++stats_.cache_hits;
+            continue;
+          }
+          if (SortedContains(component.inflight_deltas, delta)) {
+            awaited.emplace_back(static_cast<int>(c), delta);
+            continue;
+          }
+          SortedInsert(component.inflight_deltas, delta);
+          cells.push_back(CellTask{static_cast<int>(c), delta,
+                                   component.fast_path_failed_at,
+                                   component.cut_pool});
         }
-        if (component.cached.count(delta) > 0 ||
-            !queued[c].insert(delta).second) {
-          ++stats_.cache_hits;
-          continue;
-        }
-        cells.push_back(CellTask{static_cast<int>(c), delta,
-                                 component.fast_path_failed_at,
-                                 component.cut_pool});
       }
     }
-  }
+    count_settled_stats = false;
 
-  // Evaluate the cells concurrently, outside the lock. Each cell reads only
-  // its own snapshots plus component fields that never change after
-  // construction, so the outcomes are independent of the schedule — and of
-  // any merges other Values() callers complete meanwhile.
-  const std::vector<CellOutcome> outcomes = ParallelMap(
-      static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
-        CellTask& cell = cells[static_cast<std::size_t>(i)];
-        return EvaluateCell(components_[cell.component], cell);
+    // Evaluate our claimed cells concurrently, outside the lock. A cell's
+    // first act is inducing its component (no-op once done), which is what
+    // pipelines induction with fast-path probes and LP solves during a
+    // warm. Each cell otherwise reads only its own snapshots plus
+    // component fields immutable after induction, so the outcomes are
+    // independent of the schedule — and of any merges other Values()
+    // callers complete meanwhile.
+    const std::vector<CellOutcome> outcomes = ParallelMap(
+        static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
+          CellTask& cell = cells[static_cast<std::size_t>(i)];
+          ComponentState& component =
+              *components_[static_cast<std::size_t>(cell.component)];
+          EnsureInduced(component, host_graph_);
+          return EvaluateCell(component, cell);
+        });
+
+    // Merge in cell order — the one place batch state mutates — back under
+    // the lock. The dedup set over a component's cut pool is built at most
+    // once per component, on first use.
+    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<std::optional<std::set<std::vector<int>>>> pooled_by_component(
+        components_.size());
+    Status first_error = Status::OK();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellTask& cell = cells[i];
+      const CellOutcome& outcome = outcomes[i];
+      ComponentState& component =
+          *components_[static_cast<std::size_t>(cell.component)];
+      stats_.cut_rounds += outcome.cut_rounds;
+      stats_.cuts_added += outcome.cuts_added;
+      stats_.simplex_iterations += outcome.simplex_iterations;
+      component.fast_path_failed_at =
+          std::max(component.fast_path_failed_at, outcome.fast_path_failed_at);
+      if (!outcome.ok) {
+        if (first_error.ok()) {
+          first_error = Status::ResourceExhausted(outcome.error);
+        }
+        continue;
+      }
+      if (outcome.fast_certificate) {
+        ++stats_.fast_certificates;
+        component.exact_from =
+            std::min(component.exact_from, std::floor(cell.delta));
+        continue;
+      }
+      ++stats_.lp_evaluations;
+      component.cached.emplace(cell.delta, outcome.value);
+      if (std::fabs(outcome.value - component.f_sf) < 1e-9) {
+        component.exact_from = std::min(component.exact_from, cell.delta);
+      }
+      if (!outcome.new_cuts.empty()) {
+        std::optional<std::set<std::vector<int>>>& pooled =
+            pooled_by_component[static_cast<std::size_t>(cell.component)];
+        if (!pooled.has_value()) {
+          pooled.emplace(component.cut_pool.begin(), component.cut_pool.end());
+        }
+        for (const std::vector<int>& cut : outcome.new_cuts) {
+          if (pooled->insert(cut).second) component.cut_pool.push_back(cut);
+        }
+      }
+    }
+    for (const CellTask& cell : cells) {
+      SortedErase(
+          components_[static_cast<std::size_t>(cell.component)]
+              ->inflight_deltas,
+          cell.delta);
+    }
+    MaybeReleaseHostGraphLocked();
+    if (!cells.empty()) cells_cv_.notify_all();
+    if (!first_error.ok()) return first_error;
+
+    if (!awaited.empty()) {
+      // Block only on the cells we need: wait for the concurrent owners of
+      // the awaited cells to merge (or fail), never for their whole
+      // batches.
+      cells_cv_.wait(lock, [&] {
+        for (const std::pair<int, double>& id : awaited) {
+          if (SortedContains(
+                  components_[static_cast<std::size_t>(id.first)]
+                      ->inflight_deltas,
+                  id.second)) {
+            return false;
+          }
+        }
+        return true;
       });
 
-  // Merge in cell order — the one place batch state mutates — back under
-  // the lock. The dedup set over a component's cut pool is built at most
-  // once per component, on first use.
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::optional<std::set<std::vector<int>>>> pooled_by_component(
-      components_.size());
-  Status first_error = Status::OK();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const CellTask& cell = cells[i];
-    const CellOutcome& outcome = outcomes[i];
-    ComponentState& component = components_[cell.component];
-    stats_.cut_rounds += outcome.cut_rounds;
-    stats_.cuts_added += outcome.cuts_added;
-    stats_.simplex_iterations += outcome.simplex_iterations;
-    component.fast_path_failed_at =
-        std::max(component.fast_path_failed_at, outcome.fast_path_failed_at);
-    if (!outcome.ok) {
-      if (first_error.ok()) {
-        first_error = Status::ResourceExhausted(outcome.error);
+      // If an awaited owner failed, its cells are still unsettled: loop
+      // back and claim them ourselves. With no awaited cells every pair
+      // was settled by our own merge, so this scan is skipped entirely on
+      // the uncontended path.
+      bool all_settled = true;
+      for (double delta : deltas) {
+        for (const auto& component : components_) {
+          if (delta >= component->exact_from) continue;
+          if (component->cached.count(delta) > 0) continue;
+          all_settled = false;
+          break;
+        }
+        if (!all_settled) break;
       }
-      continue;
+      if (!all_settled) continue;
     }
-    if (outcome.fast_certificate) {
-      ++stats_.fast_certificates;
-      component.exact_from =
-          std::min(component.exact_from, std::floor(cell.delta));
-      continue;
-    }
-    ++stats_.lp_evaluations;
-    component.cached.emplace(cell.delta, outcome.value);
-    if (std::fabs(outcome.value - component.f_sf) < 1e-9) {
-      component.exact_from = std::min(component.exact_from, cell.delta);
-    }
-    if (!outcome.new_cuts.empty()) {
-      std::optional<std::set<std::vector<int>>>& pooled =
-          pooled_by_component[cell.component];
-      if (!pooled.has_value()) {
-        pooled.emplace(component.cut_pool.begin(), component.cut_pool.end());
-      }
-      for (const std::vector<int>& cut : outcome.new_cuts) {
-        if (pooled->insert(cut).second) component.cut_pool.push_back(cut);
-      }
-    }
-  }
-  if (!first_error.ok()) return first_error;
 
-  // Assemble the per-Δ totals; after the merge every pair is settled.
-  std::vector<double> totals;
-  totals.reserve(deltas.size());
-  for (double delta : deltas) {
-    double total = 0.0;
-    for (ComponentState& component : components_) {
-      const auto cached = component.cached.find(delta);
-      if (cached != component.cached.end()) {
-        total += cached->second;
-      } else {
-        NODEDP_CHECK_GE(delta, component.exact_from);
-        total += component.f_sf;
+    // Assemble the per-Δ totals; every pair is settled.
+    std::vector<double> totals;
+    totals.reserve(deltas.size());
+    for (double delta : deltas) {
+      double total = 0.0;
+      for (const auto& component : components_) {
+        const auto cached = component->cached.find(delta);
+        if (cached != component->cached.end()) {
+          total += cached->second;
+        } else {
+          NODEDP_CHECK_GE(delta, component->exact_from);
+          total += component->f_sf;
+        }
       }
+      totals.push_back(total);
     }
-    totals.push_back(total);
+    return totals;
   }
-  return totals;
 }
 
 ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
@@ -198,54 +401,6 @@ ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
   outcome.value = lp.value;
   outcome.new_cuts.assign(pool.begin() + pool_snapshot_size, pool.end());
   return outcome;
-}
-
-Result<double> ExtensionFamily::ComponentValue(ComponentState& component,
-                                               double delta) {
-  if (delta >= component.exact_from) {
-    ++stats_.watermark_hits;
-    return component.f_sf;
-  }
-  const auto cached = component.cached.find(delta);
-  if (cached != component.cached.end()) {
-    ++stats_.cache_hits;
-    return cached->second;
-  }
-
-  if (options_.use_repair_fast_path) {
-    const int degree_cap = static_cast<int>(std::floor(delta));
-    if (degree_cap >= 1 && degree_cap > component.fast_path_failed_at) {
-      if (FindSpanningForestOfDegree(component.graph, degree_cap)
-              .has_value()) {
-        ++stats_.fast_certificates;
-        // A spanning cap-forest certifies exactness for every Δ >= cap.
-        component.exact_from =
-            std::min(component.exact_from, static_cast<double>(degree_cap));
-        return component.f_sf;
-      }
-      component.fast_path_failed_at =
-          std::max(component.fast_path_failed_at, degree_cap);
-    }
-  }
-
-  ForestPolytopeOptions polytope = options_.polytope;
-  polytope.cut_pool = &component.cut_pool;
-  const ForestPolytopeResult lp =
-      MaximizeOverForestPolytope(component.graph, delta, polytope);
-  stats_.cut_rounds += lp.cut_rounds;
-  stats_.cuts_added += lp.cuts_added;
-  stats_.simplex_iterations += lp.simplex_iterations;
-  if (lp.status != LpStatus::kOptimal) {
-    return Status::ResourceExhausted(
-        std::string("forest-polytope LP did not converge: ") +
-        LpStatusName(lp.status));
-  }
-  ++stats_.lp_evaluations;
-  component.cached.emplace(delta, lp.value);
-  if (std::fabs(lp.value - component.f_sf) < 1e-9) {
-    component.exact_from = std::min(component.exact_from, delta);
-  }
-  return lp.value;
 }
 
 }  // namespace nodedp

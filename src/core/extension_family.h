@@ -15,13 +15,28 @@
 //   * fast-path certificate via Algorithm 3 repair + Fürer–Raghavachari-
 //     style local search (core/degree_improve.h), skipping the LP wherever
 //     a spanning Δ-forest is found.
+//
+// Construction is sharded: one O(n + m) ComponentLabels pass partitions the
+// vertices, each component's spanning-forest size is |C| − 1 by the
+// connectivity invariant (no per-component union-find pass), and the
+// per-component subgraph inductions run concurrently on the current thread
+// pool. Induction is also *lazy*: the deferred constructor records only the
+// partition, and each component is induced at most once — by the first cell
+// evaluation that needs it (std::call_once) — so a Warm() over the Δ grid
+// pipelines induction, fast-path probes, and LP solves instead of running
+// them as serial phases. The host-graph copy kept for lazy induction is
+// released as soon as every component has been induced.
 
 #ifndef NODEDP_CORE_EXTENSION_FAMILY_H_
 #define NODEDP_CORE_EXTENSION_FAMILY_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/forest_polytope.h"
@@ -31,25 +46,47 @@
 
 namespace nodedp {
 
-// Thread safety: Value() and Values() may be called concurrently from
-// multiple threads (e.g. parallel noise trials sharing one warmed family).
-// Cache/watermark/cut-pool/stats mutations happen under an internal mutex;
-// the expensive cell evaluations run outside it against immutable
-// snapshots. Returned values are identical regardless of interleaving (the
-// LP optimum does not depend on which valid cuts seed it), but concurrent
-// cold callers may duplicate cell work, so warm the family first (one
-// Values() call over the grid) when sharing it across threads. stats()
-// returns a snapshot copy taken under the same mutex, so it is safe to call
-// while queries are in flight (the serving layer does).
+// Thread safety: Value(), Values(), Warm(), stats(), and MemoryBytes() may
+// be called concurrently from multiple threads (e.g. parallel noise trials
+// sharing one warmed family, or queries arriving while a load-time warm is
+// still running). Cache/watermark/cut-pool/stats mutations happen under an
+// internal mutex; the expensive cell evaluations run outside it against
+// immutable snapshots. Unsettled (component, Δ) cells are claimed through
+// an in-flight registry, so concurrent callers never duplicate an LP solve:
+// a caller that needs a cell another caller is already evaluating blocks on
+// exactly that cell — not on the whole batch. Returned values are identical
+// regardless of interleaving (the LP optimum does not depend on which valid
+// cuts seed it). stats() returns a snapshot copy taken under the same
+// mutex, so it is safe to call while queries are in flight (the serving
+// layer does).
 class ExtensionFamily {
  public:
-  // Copies `g` (components of interest, that is) so the family owns its
-  // inputs and cannot dangle.
+  // Tag selecting the deferred constructor: record the component partition
+  // (one O(n + m) labels pass) but induce nothing. Induction then happens
+  // lazily, per component, on first use — Warm()/WarmAsync() exploit this
+  // to overlap induction with grid-cell evaluation.
+  struct DeferInduction {};
+
+  // Copies the components of interest out of `g`, so the family owns its
+  // inputs and cannot dangle. Inductions run concurrently on the current
+  // thread pool; the resulting family is identical at any width.
   explicit ExtensionFamily(const Graph& g,
                            const ExtensionOptions& options = {});
 
+  // Deferred variant: partitions but does not induce. Keeps a copy of `g`
+  // until every component has been induced (MemoryBytes() reports it).
+  ExtensionFamily(const Graph& g, const ExtensionOptions& options,
+                  DeferInduction);
+
+  // Joins an in-flight WarmAsync() thread, if any.
+  ~ExtensionFamily();
+
+  ExtensionFamily(const ExtensionFamily&) = delete;
+  ExtensionFamily& operator=(const ExtensionFamily&) = delete;
+
   // f_Δ(G). Cached; requires delta >= 1. Fails only on LP resource
-  // exhaustion.
+  // exhaustion. Equivalent to Values({delta}) — a one-Δ batch — so it
+  // shares cells with concurrent batches instead of re-solving them.
   Result<double> Value(double delta);
 
   // Evaluates the whole grid at once — the Algorithm 4 access pattern — and
@@ -59,7 +96,9 @@ class ExtensionFamily {
   // batch (cut pool, watermark, fast-path floor), and the cells' updates
   // are merged back in a fixed order afterwards. Both the returned values
   // and the post-call family state are therefore bit-identical at any
-  // thread count. Requires every delta >= 1; fails only on LP resource
+  // thread count. Cells already being evaluated by a concurrent caller are
+  // not re-solved: this call blocks until those cells settle and reads the
+  // merged results. Requires every delta >= 1; fails only on LP resource
   // exhaustion.
   //
   // Relative to sequential Value() calls the batch trades a little
@@ -69,11 +108,35 @@ class ExtensionFamily {
   // depend on which valid cuts seed it.
   Result<std::vector<double>> Values(const std::vector<double>& deltas);
 
+  // Evaluates every Δ in `grid` (the load-time warm). On a deferred family
+  // this pipelines the stages: a cell's evaluation induces its component on
+  // first touch, so early components' fast-path probes and LP solves run
+  // while later components are still being induced. Equivalent to Values()
+  // in every observable way (same cells, same merge order, same resulting
+  // state); only the Status is returned.
+  Status Warm(const std::vector<double>& grid);
+
+  // Starts Warm(grid) on a background thread and returns immediately.
+  // Queries issued meanwhile are safe and block only on the cells they
+  // need (see Values). At most one async warm may be in flight; the
+  // destructor joins it. Collect the outcome with WaitWarm().
+  void WarmAsync(std::vector<double> grid);
+
+  // Blocks until the WarmAsync() warm finishes and returns its Status.
+  // OK if WarmAsync was never called.
+  Status WaitWarm();
+
   // f_sf(G) (the non-private true value; used to build GEM scores).
   double SpanningForestSizeValue() const { return f_sf_total_; }
 
   int num_vertices() const { return num_vertices_; }
   const ExtensionOptions& options() const { return options_; }
+
+  // Heap footprint: component graphs (plus the host-graph copy while lazy
+  // induction still needs it), partition vertex lists, cut pools, and the
+  // per-Δ value caches. Safe to call while queries are in flight; feeds
+  // the serving layer's cache-eviction policy.
+  std::size_t MemoryBytes() const;
 
   // Cumulative work statistics across all Value() calls.
   struct Stats {
@@ -94,8 +157,18 @@ class ExtensionFamily {
 
  private:
   struct ComponentState {
-    Graph graph;
+    // Host-graph ids of this component, sorted ascending. The lazy
+    // induction input; retained afterwards so MemoryBytes() never races an
+    // in-flight induction. Empty for the whole-graph pseudo-component of
+    // decompose_components = false.
+    std::vector<int> vertices;
+    // |C| - 1, by the connectivity invariant — no spanning-forest pass.
     double f_sf = 0.0;
+    // The induced subgraph. Written once, inside `induce_once`; readable
+    // once `induced` is true (acquire/release pairing).
+    Graph graph;
+    std::once_flag induce_once;
+    std::atomic<bool> induced{false};
     // Smallest Δ known to satisfy f_Δ = f_sf (monotone watermark).
     double exact_from = std::numeric_limits<double>::infinity();
     // Largest integer cap where the fast-path forest search already failed
@@ -103,10 +176,34 @@ class ExtensionFamily {
     int fast_path_failed_at = 0;
     std::vector<std::vector<int>> cut_pool;
     std::map<double, double> cached;
+    // Δs of this component currently being evaluated by some Values()
+    // batch, sorted ascending (guarded by mu_). A concurrent caller that
+    // needs one waits on cells_cv_ instead of duplicating the solve. Kept
+    // per component — a handful of grid Δs at most — so claim/release is
+    // allocation-free on the warm path.
+    std::vector<double> inflight_deltas;
   };
 
-  // Requires mu_ to be held.
-  Result<double> ComponentValue(ComponentState& component, double delta);
+  // The shared front half of both constructors: one ComponentLabels pass
+  // partitions the vertices, sets every component's f_sf to |C| - 1, and
+  // derives f_sf_total_ = n - #components — the constructor's only
+  // whole-graph traversal. `retain_host` copies g into host_graph_ for
+  // lazy induction (the deferred constructor); the eager constructor
+  // induces straight from its argument instead.
+  void InitComponents(const Graph& g, bool retain_host);
+
+  // Induces `component` from `host`, exactly once across all threads
+  // (later callers return immediately, or wait for the one in-flight
+  // induction). Debug builds CHECK the |C| - 1 invariant. The eager
+  // constructor passes its argument directly (no host copy is ever made);
+  // lazy callers pass the retained host_graph_.
+  void EnsureInduced(ComponentState& component, const Graph& host);
+
+  // Drops the host-graph copy once every component has been induced.
+  // Requires mu_; safe against concurrent inductions because the atomic
+  // countdown in EnsureInduced orders every host-graph read before the
+  // zero observed here.
+  void MaybeReleaseHostGraphLocked();
 
   // One unsettled (component, Δ) cell of a Values() batch, planned under
   // the lock with snapshots of the mutable component state it reads.
@@ -132,16 +229,34 @@ class ExtensionFamily {
   };
 
   // Runs outside the lock: touches only the task's snapshots and the
-  // component fields that are immutable after construction (graph, f_sf).
+  // component fields that are immutable after induction (graph, f_sf).
   CellOutcome EvaluateCell(const ComponentState& component,
                            CellTask& task) const;
 
   int num_vertices_ = 0;
   double f_sf_total_ = 0.0;
   ExtensionOptions options_;
+
+  // Lazy-induction support: the host graph retained until every component
+  // has been induced, and the countdown that tells us when that is.
+  Graph host_graph_;
+  std::atomic<int> remaining_inductions_{0};
+
   mutable std::mutex mu_;
-  std::vector<ComponentState> components_;
+  bool host_released_ = true;  // guarded by mu_
+  // unique_ptr elements because ComponentState holds a std::once_flag.
+  std::vector<std::unique_ptr<ComponentState>> components_;
+  // Signaled whenever a batch releases its in-flight cells (see
+  // ComponentState::inflight_deltas).
+  std::condition_variable cells_cv_;
   Stats stats_;
+
+  // WarmAsync state.
+  std::mutex warm_mu_;
+  std::condition_variable warm_cv_;
+  bool warm_done_ = true;      // guarded by warm_mu_
+  Status warm_status_;         // guarded by warm_mu_
+  std::thread warm_thread_;
 };
 
 }  // namespace nodedp

@@ -8,9 +8,13 @@
 namespace nodedp {
 
 int CountConnectedComponents(const Graph& g) {
-  UnionFind uf(g.NumVertices());
-  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
-  return uf.NumSets();
+  // Rides the same iterative-DFS pass as ComponentLabels: every edge is
+  // touched exactly twice through the flat CSR arrays, with none of the
+  // union-find indirection the original implementation paid.
+  const std::vector<int> labels = ComponentLabels(g);
+  int num = 0;
+  for (int label : labels) num = std::max(num, label + 1);
+  return num;
 }
 
 int SpanningForestSize(const Graph& g) {

@@ -16,24 +16,15 @@ namespace {
 // under the parallel substrate.
 thread_local std::vector<int> tls_new_id;
 
-}  // namespace
-
-InducedSubgraph Induce(const Graph& g, std::vector<int> vertices) {
-  std::sort(vertices.begin(), vertices.end());
-  NODEDP_CHECK_MSG(
-      std::adjacent_find(vertices.begin(), vertices.end()) == vertices.end(),
-      "duplicate vertex in induced subgraph");
+// Shared core of Induce / InduceSortedGraph. Requires `vertices` sorted
+// ascending, duplicate-free, and in range (callers CHECK/DCHECK).
+Graph InduceCore(const Graph& g, const std::vector<int>& vertices) {
   const int k = static_cast<int>(vertices.size());
   std::vector<int>& new_id = tls_new_id;
   if (static_cast<int>(new_id.size()) < g.NumVertices()) {
     new_id.resize(g.NumVertices(), -1);
   }
-  for (int i = 0; i < k; ++i) {
-    const int v = vertices[i];
-    NODEDP_CHECK_GE(v, 0);
-    NODEDP_CHECK_LT(v, g.NumVertices());
-    new_id[v] = i;
-  }
+  for (int i = 0; i < k; ++i) new_id[vertices[i]] = i;
 
   // Relabeling is monotone (vertices are ascending), so sweeping kept
   // vertices in order and their sorted neighbor slices upward yields the
@@ -60,10 +51,34 @@ InducedSubgraph Induce(const Graph& g, std::vector<int> vertices) {
 
   for (int v : vertices) new_id[v] = -1;  // restore the scratch invariant
 
+  return Graph::FromSortedEdges(k, std::move(edges));
+}
+
+}  // namespace
+
+InducedSubgraph Induce(const Graph& g, std::vector<int> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  NODEDP_CHECK_MSG(
+      std::adjacent_find(vertices.begin(), vertices.end()) == vertices.end(),
+      "duplicate vertex in induced subgraph");
+  for (int v : vertices) {
+    NODEDP_CHECK_GE(v, 0);
+    NODEDP_CHECK_LT(v, g.NumVertices());
+  }
+
   InducedSubgraph result;
-  result.graph = Graph::FromSortedEdges(k, std::move(edges));
+  result.graph = InduceCore(g, vertices);
   result.original_vertex = std::move(vertices);
   return result;
+}
+
+Graph InduceSortedGraph(const Graph& g, const std::vector<int>& vertices) {
+  NODEDP_DCHECK(std::is_sorted(vertices.begin(), vertices.end()));
+  NODEDP_DCHECK(std::adjacent_find(vertices.begin(), vertices.end()) ==
+                vertices.end());
+  NODEDP_DCHECK(vertices.empty() ||
+                (vertices.front() >= 0 && vertices.back() < g.NumVertices()));
+  return InduceCore(g, vertices);
 }
 
 Graph RemoveVertex(const Graph& g, int v) {

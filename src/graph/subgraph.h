@@ -26,6 +26,13 @@ struct InducedSubgraph {
 // CHECKed). Vertices are relabeled 0..k-1 in ascending host order.
 InducedSubgraph Induce(const Graph& g, std::vector<int> vertices);
 
+// Fast path for callers that already hold `vertices` sorted ascending and
+// duplicate-free (DCHECKed) and do not need the mapping back: skips the
+// sort, the duplicate scan, and the vertex-list copy. This is what the
+// sharded ExtensionFamily construction uses to induce each component
+// straight off its ComponentLabels bucket.
+Graph InduceSortedGraph(const Graph& g, const std::vector<int>& vertices);
+
 // G \ {v}: the subgraph induced by all vertices other than v (a
 // node-neighbor of g). Vertices above v shift down by one.
 Graph RemoveVertex(const Graph& g, int v);

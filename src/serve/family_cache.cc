@@ -1,93 +1,166 @@
 #include "serve/family_cache.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
+#include <vector>
 
 namespace nodedp {
+
+namespace {
+
+std::size_t ByteCapFromEnv() {
+  const char* env = std::getenv("NODEDP_FAMILY_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+FamilyCache::FamilyCache() : byte_cap_(ByteCapFromEnv()) {}
 
 Result<std::shared_ptr<ExtensionFamily>> FamilyCache::GetOrCreate(
     const std::string& key, const Graph& g,
     const std::vector<double>& warm_grid, const ExtensionOptions& options) {
-  for (;;) {
-    std::shared_ptr<Slot> slot;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Slot> slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
       auto it = slots_.find(key);
       if (it == slots_.end()) {
-        it = slots_.emplace(key, std::make_shared<Slot>()).first;
+        slot = std::make_shared<Slot>();
+        slots_.emplace(key, slot);
+        ++misses_;
+        break;  // we are the builder
       }
-      slot = it->second;
-    }
-
-    // Build (or find built) under the slot mutex only: same-key callers
-    // serialize here and all but the first hit; other keys are unaffected.
-    std::lock_guard<std::mutex> slot_lock(slot->mu);
-    if (slot->family != nullptr) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++hits_;
-      return slot->family;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = slots_.find(key);
-      if (it == slots_.end() || it->second != slot) {
-        // The builder we waited behind failed its warm-up and dropped the
-        // slot: start over on a fresh one so our build lands in the map
-        // (building into the orphan would cache nothing).
-        continue;
+      if (it->second->state != SlotState::kBuilding) {
+        // Ready, or warming — a warming family is fully usable: callers
+        // block only on the cells their queries touch.
+        ++hits_;
+        it->second->last_used = ++use_tick_;
+        return it->second->family;
       }
-      ++misses_;
+      // Another caller is running the constructor (the short partition
+      // pass, not the warm). Wait for the family to become visible, then
+      // re-check — the slot may also have been dropped on failure.
+      slot_cv_.wait(lock);
     }
-    auto family = std::make_shared<ExtensionFamily>(g, options);
-    if (!warm_grid.empty()) {
-      const Result<std::vector<double>> warm = family->Values(warm_grid);
-      if (!warm.ok()) {
-        // Drop the slot so the next caller starts clean.
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = slots_.find(key);
-        if (it != slots_.end() && it->second == slot) slots_.erase(it);
-        return warm.status();
-      }
-    }
-    slot->family = std::move(family);
-    return slot->family;
   }
+
+  // We own the build. Construct deferred (cheap: one O(n+m) pass), publish
+  // as warming so concurrent callers share it mid-warm, then run the
+  // pipelined warm outside every cache lock.
+  auto family = std::make_shared<ExtensionFamily>(
+      g, options, ExtensionFamily::DeferInduction{});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->family = family;
+    slot->state = SlotState::kWarming;
+    slot->last_used = ++use_tick_;
+  }
+  slot_cv_.notify_all();
+
+  const Status warmed = family->Warm(warm_grid);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  const bool still_ours = it != slots_.end() && it->second == slot;
+  if (!warmed.ok()) {
+    // Drop the slot so the next caller starts clean. Concurrent callers
+    // that picked the family up mid-warm hit the same LP failure on their
+    // own cells.
+    if (still_ours) slots_.erase(it);
+    return warmed;
+  }
+  if (still_ours) {
+    slot->state = SlotState::kReady;
+    slot->last_used = ++use_tick_;
+    EnforceByteCapLocked(slot);
+  }
+  return family;
 }
 
 std::shared_ptr<ExtensionFamily> FamilyCache::Get(
     const std::string& key) const {
-  std::shared_ptr<Slot> slot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = slots_.find(key);
-    if (it == slots_.end()) return nullptr;
-    slot = it->second;
-  }
-  std::lock_guard<std::mutex> slot_lock(slot->mu);
-  return slot->family;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return nullptr;
+  if (it->second->state == SlotState::kBuilding) return nullptr;
+  return it->second->family;
 }
 
 void FamilyCache::Evict(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Dropping a kBuilding/kWarming slot is safe: the builder re-checks slot
+  // identity before caching and simply hands its family to its caller.
   slots_.erase(key);
 }
 
-FamilyCache::CacheStats FamilyCache::stats() const {
-  std::vector<std::shared_ptr<Slot>> slots;
-  CacheStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.hits = hits_;
-    s.misses = misses_;
-    slots.reserve(slots_.size());
-    for (const auto& [key, slot] : slots_) slots.push_back(slot);
+void FamilyCache::SetByteCap(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_cap_ = bytes;
+  EnforceByteCapLocked(nullptr);
+}
+
+std::size_t FamilyCache::byte_cap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_cap_;
+}
+
+void FamilyCache::EnforceByteCapLocked(const std::shared_ptr<Slot>& keep) {
+  if (byte_cap_ == 0) return;
+  // Size every resident family exactly once (MemoryBytes walks the whole
+  // family), then evict in last_used order until the total fits.
+  struct Victim {
+    std::map<std::string, std::shared_ptr<Slot>>::iterator it;
+    std::size_t bytes;
+  };
+  std::size_t bytes = 0;
+  std::vector<Victim> victims;
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    const Slot& slot = *it->second;
+    if (slot.state == SlotState::kBuilding) continue;
+    const std::size_t slot_bytes = slot.family->MemoryBytes();
+    bytes += slot_bytes;
+    // Warming entries and the just-used entry are pinned, so the cap is a
+    // soft target a single oversized family may exceed.
+    if (it->second == keep || slot.state != SlotState::kReady) continue;
+    victims.push_back(Victim{it, slot_bytes});
   }
-  // Telemetry must never block behind an in-flight build+warm (its slot
-  // mutex is held for the whole thing): a slot we cannot try_lock is
-  // mid-build, i.e. not a built entry yet — exactly how it is counted.
-  for (const auto& slot : slots) {
-    if (!slot->mu.try_lock()) continue;
-    if (slot->family != nullptr) ++s.entries;
-    slot->mu.unlock();
+  if (bytes <= byte_cap_) return;
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              return a.it->second->last_used < b.it->second->last_used;
+            });
+  for (const Victim& victim : victims) {
+    if (bytes <= byte_cap_) break;
+    bytes -= victim.bytes;
+    slots_.erase(victim.it);
+    ++evictions_;
+  }
+}
+
+FamilyCache::CacheStats FamilyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.byte_cap = byte_cap_;
+  for (const auto& [key, slot] : slots_) {
+    if (slot->state == SlotState::kBuilding) continue;
+    // MemoryBytes takes the family mutex, which warms and served queries
+    // (all on the Values path) only hold around planning and merging —
+    // never across LP solves — so telemetry cannot stall behind a warm.
+    s.bytes += slot->family->MemoryBytes();
+    if (slot->state == SlotState::kReady) {
+      ++s.entries;
+    } else {
+      ++s.warming;
+    }
   }
   return s;
 }

@@ -1,4 +1,5 @@
-// FamilyCache: name-keyed cache of warmed ExtensionFamily instances.
+// FamilyCache: name-keyed cache of warmed ExtensionFamily instances, with
+// LRU eviction under a global byte cap.
 //
 // Building the family — component decomposition plus the LP-grid sweep over
 // Δ ∈ {1, 2, ..., Δmax} — is the expensive, ε-independent part of
@@ -7,14 +8,29 @@
 // queries, whole ε sweeps) is a pure cache hit that pays only for GEM
 // scoring and noise sampling.
 //
-// Entries are handed out as shared_ptr: Evict() drops the cache's
-// reference, but queries in flight keep the family alive until they
-// finish. ExtensionFamily::Value/Values are internally synchronized, so one
-// warmed family safely serves concurrent callers.
+// The build is pipelined, not phased: the family is constructed deferred
+// (one O(n+m) partition pass), published to the cache immediately, and then
+// warmed — grid cells of already-induced components evaluate while later
+// components are still being induced (see ExtensionFamily::Warm). Because
+// the warming family is visible in the cache, queries arriving mid-warm get
+// the same family and block only on the cells they need, never on the whole
+// warm.
+//
+// Memory: the cache sums ExtensionFamily::MemoryBytes over resident
+// entries and evicts least-recently-used READY entries until the total fits
+// the byte cap (NODEDP_FAMILY_CACHE_BYTES env var, or SetByteCap; 0 means
+// unlimited). The cap is a soft target: warming entries and the entry just
+// built are never evicted, so a single oversized family can exceed it.
+//
+// Entries are handed out as shared_ptr: eviction — explicit or by the cap —
+// drops the cache's reference, but queries in flight keep the family alive
+// until they finish. ExtensionFamily::Value/Values are internally
+// synchronized, so one warmed family safely serves concurrent callers.
 
 #ifndef NODEDP_SERVE_FAMILY_CACHE_H_
 #define NODEDP_SERVE_FAMILY_CACHE_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,41 +45,69 @@ namespace nodedp {
 
 class FamilyCache {
  public:
+  // Reads the byte cap from NODEDP_FAMILY_CACHE_BYTES (unset, empty, or
+  // unparsable means unlimited).
+  FamilyCache();
+
   // Returns the family cached under `key`, or builds one from `g`, warms
-  // every Δ in `warm_grid`, and caches it. A warm-up failure (LP resource
-  // exhaustion) is returned and nothing is cached, so a later retry starts
-  // clean. The expensive build+warm runs under a per-key slot mutex only —
-  // concurrent calls for the same key build once (the rest wait and hit),
-  // while calls for other keys are never blocked by it.
+  // every Δ in `warm_grid`, and caches it. Concurrent calls for the same
+  // key build once; a call that arrives while the warm is still running
+  // returns the warming family immediately (its queries block only on the
+  // cells they touch). A warm-up failure (LP resource exhaustion) is
+  // returned and the slot is dropped, so a later retry starts clean.
   Result<std::shared_ptr<ExtensionFamily>> GetOrCreate(
       const std::string& key, const Graph& g,
       const std::vector<double>& warm_grid, const ExtensionOptions& options);
 
-  // Returns the cached family, or nullptr.
+  // Returns the cached family — warmed or still warming — or nullptr.
+  // Never blocks behind a build or warm; does not count as an LRU use.
   std::shared_ptr<ExtensionFamily> Get(const std::string& key) const;
 
   // Drops the cache's reference; in-flight holders keep theirs.
   void Evict(const std::string& key);
 
+  // 0 means unlimited. Setting a cap enforces it immediately.
+  void SetByteCap(std::size_t bytes);
+  std::size_t byte_cap() const;
+
   struct CacheStats {
-    int entries = 0;  // slots holding a built family
+    int entries = 0;    // fully warmed families resident in the cache
+    int warming = 0;    // entries whose build/warm is still in flight
     long long hits = 0;
     long long misses = 0;
+    long long evictions = 0;   // byte-cap LRU evictions (Evict() not counted)
+    std::size_t bytes = 0;     // MemoryBytes over resident families
+    std::size_t byte_cap = 0;  // 0 = unlimited
   };
   CacheStats stats() const;
 
  private:
-  // One slot per key. The slot mutex serializes construction for that key;
-  // the map mutex (mu_) only ever guards map lookups and the counters.
-  struct Slot {
-    std::mutex mu;
-    std::shared_ptr<ExtensionFamily> family;  // null until built
+  enum class SlotState {
+    kBuilding,  // constructor (partition pass) in flight; family is null
+    kWarming,   // family visible and usable; grid warm still running
+    kReady,     // built and fully warmed
   };
 
+  // All slot fields are guarded by mu_; the expensive construction and warm
+  // run outside it against the shared_ptr'd family.
+  struct Slot {
+    SlotState state = SlotState::kBuilding;
+    std::shared_ptr<ExtensionFamily> family;
+    long long last_used = 0;
+  };
+
+  // Evicts least-recently-used kReady slots (never `keep`, never warming
+  // slots) until the resident families fit byte_cap_. Requires mu_.
+  void EnforceByteCapLocked(const std::shared_ptr<Slot>& keep);
+
   mutable std::mutex mu_;
+  std::condition_variable slot_cv_;  // signaled on kBuilding -> visible
   std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::size_t byte_cap_ = 0;
   long long hits_ = 0;
   long long misses_ = 0;
+  long long evictions_ = 0;
+  long long use_tick_ = 0;
 };
 
 }  // namespace nodedp

@@ -40,18 +40,42 @@ Status ReleaseServer::Load(const std::string& name, Graph g,
   }
   auto entry =
       std::make_shared<Entry>(std::move(g), config, std::move(cache_key));
-  if (config.prewarm) {
-    const auto family = FamilyFor(*entry);
-    if (!family.ok()) return family.status();
-  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     const bool inserted = registry_.emplace(name, entry).second;
     if (!inserted) {
       // Lost a race with a concurrent Load of the same name.
-      families_.Evict(entry->cache_key);
       return Status::InvalidArgument("graph '" + name +
                                      "' is already loaded; evict it first");
+    }
+  }
+  if (config.prewarm) {
+    // Registered first, warmed second: queries issued while this pipelined
+    // build+warm runs resolve the same warming family through the cache
+    // and block only on the cells they need.
+    const auto family = FamilyFor(*entry);
+    if (!family.ok()) {
+      // Roll back the registration — but never a ledger that has admitted
+      // charges: releases already emitted mid-warm must stay accounted, or
+      // a reload would hand the same data a fresh budget. Retiring under
+      // entry.mu closes the race with in-flight admissions (a query either
+      // charged before this, keeping the entry, or is refused after).
+      bool keep = false;
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mu);
+        if (entry->ledger.num_charges() > 0) {
+          keep = true;
+        } else {
+          entry->retired = true;
+        }
+      }
+      if (!keep) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = registry_.find(name);
+        if (it != registry_.end() && it->second == entry) registry_.erase(it);
+        families_.Evict(entry->cache_key);
+      }
+      return family.status();
     }
   }
   return Status::OK();
@@ -115,19 +139,13 @@ std::vector<double> ReleaseServer::WarmGrid(const Entry& entry) {
 
 Result<std::shared_ptr<ExtensionFamily>> ReleaseServer::FamilyFor(
     Entry& entry) {
-  {
-    std::lock_guard<std::mutex> entry_lock(entry.mu);
-    if (entry.family != nullptr) return entry.family;
-  }
+  // Resolved through the cache on every query (a resident family is one
+  // map lookup away): the entry never pins the family, so a byte-cap
+  // eviction frees real memory and the next query rebuilds and re-warms.
   // The build+warm runs outside every server lock; FamilyCache serializes
-  // same-key builders and lets the losers hit the winner's family.
-  Result<std::shared_ptr<ExtensionFamily>> family =
-      families_.GetOrCreate(entry.cache_key, entry.graph, WarmGrid(entry),
-                            entry.config.release.extension);
-  if (!family.ok()) return family.status();
-  std::lock_guard<std::mutex> entry_lock(entry.mu);
-  if (entry.family == nullptr) entry.family = *family;
-  return entry.family;
+  // same-key builders and hands mid-warm callers the warming family.
+  return families_.GetOrCreate(entry.cache_key, entry.graph, WarmGrid(entry),
+                               entry.config.release.extension);
 }
 
 Rng ReleaseServer::SplitRng() {
@@ -145,6 +163,11 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
   Entry& entry = *admitted.entry;
   {
     std::lock_guard<std::mutex> entry_lock(entry.mu);
+    if (entry.retired) {
+      // A failed prewarm rolled this registration back between our Find
+      // and now; refuse before charging the discarded ledger.
+      return Status::NotFound("graph '" + name + "' was unloaded");
+    }
     Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
     if (!charged.ok()) return charged;
     // Split atomically with the charge (entry.mu -> mu_, per the lock
@@ -250,12 +273,16 @@ Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
   Result<std::shared_ptr<Entry>> found = Find(name);
   if (!found.ok()) return found.status();
   Entry& entry = **found;
+  // Resolve the family outside entry.mu (the cache has its own lock and
+  // never takes entry mutexes, so there is no order to violate).
+  const std::shared_ptr<ExtensionFamily> family =
+      families_.Get(entry.cache_key);
   std::lock_guard<std::mutex> entry_lock(entry.mu);
   ServeGraphStats stats;
   stats.num_vertices = entry.graph.NumVertices();
   stats.num_edges = entry.graph.NumEdges();
   stats.graph_memory_bytes = entry.graph.MemoryBytes();
-  stats.family_warmed = entry.family != nullptr;
+  stats.family_warmed = family != nullptr;
   stats.queries_answered = entry.queries_answered;
   stats.queries_failed = entry.queries_failed;
   stats.budget.total = entry.ledger.total();
@@ -263,7 +290,10 @@ Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
   stats.budget.remaining = entry.ledger.remaining();
   stats.budget.num_charges = entry.ledger.num_charges();
   stats.budget.num_refusals = entry.ledger.num_refusals();
-  if (entry.family != nullptr) stats.family = entry.family->stats();
+  if (family != nullptr) {
+    stats.family = family->stats();
+    stats.family_memory_bytes = family->MemoryBytes();
+  }
   return stats;
 }
 

@@ -11,7 +11,13 @@
 //   * a warmed-family cache (serve/family_cache.h) — the ε-independent
 //     LP-grid work of Algorithm 1 is done once per graph at load time, so
 //     single releases, repeated queries, and whole ε sweeps are all served
-//     from one ExtensionFamily.
+//     from one ExtensionFamily. The load-time warm is pipelined (component
+//     induction overlaps fast-path probes and LP solves) and the graph is
+//     registered before it runs, so queries arriving mid-warm are served by
+//     the warming family and block only on the grid cells they need. The
+//     cache evicts least-recently-used families under a global byte cap
+//     (NODEDP_FAMILY_CACHE_BYTES / SetFamilyCacheByteCap); an evicted
+//     graph's next query transparently rebuilds and re-warms.
 //
 // Concurrency: all entry points are safe to call from multiple threads.
 // The registry map and the server Rng sit behind one mutex, each entry's
@@ -75,7 +81,8 @@ struct ServeGraphStats {
   int num_vertices = 0;
   int num_edges = 0;
   std::size_t graph_memory_bytes = 0;
-  bool family_warmed = false;
+  bool family_warmed = false;  // family resident in the cache (or warming)
+  std::size_t family_memory_bytes = 0;  // 0 until the family is resident
   long long queries_answered = 0;
   long long queries_failed = 0;  // admitted but failed internally
   BudgetReport budget;
@@ -91,7 +98,14 @@ class ReleaseServer {
 
   // Registers `g` under `name`. Fails with InvalidArgument if the name is
   // empty, already registered, or the config is invalid; with the family
-  // warm-up error if prewarm fails. On failure nothing is registered.
+  // warm-up error if prewarm fails. The graph is registered *before* the
+  // prewarm runs, so queries arriving mid-warm are served by the warming
+  // family (blocking only on the grid cells they need). If the warm fails
+  // and no query has charged the ledger, the registration is rolled back
+  // (nothing stays registered); if a mid-warm query *did* spend budget,
+  // the graph stays registered with its ledger intact — accounting for
+  // emitted releases must survive a failed load — and the error is still
+  // returned (evict explicitly to discard it).
   Status Load(const std::string& name, Graph g,
               const ServeGraphConfig& config = {});
 
@@ -140,6 +154,13 @@ class ReleaseServer {
     return families_.stats();
   }
 
+  // Global cap on resident family bytes; least-recently-used families are
+  // evicted to fit (their graphs stay registered; the next query rebuilds).
+  // 0 = unlimited. Also settable via NODEDP_FAMILY_CACHE_BYTES.
+  void SetFamilyCacheByteCap(std::size_t bytes) {
+    families_.SetByteCap(bytes);
+  }
+
  private:
   struct Entry {
     Entry(Graph graph_in, const ServeGraphConfig& config_in,
@@ -152,11 +173,17 @@ class ReleaseServer {
     const Graph graph;
     const ServeGraphConfig config;
     // Family-cache key: unique per load (name + load id), so re-loading a
-    // name after eviction can never alias the evicted graph's family.
+    // name after eviction can never alias the evicted graph's family. The
+    // entry deliberately holds no family pointer of its own: every query
+    // resolves through the FamilyCache, so a byte-cap eviction actually
+    // frees the memory and the next query rebuilds.
     const std::string cache_key;
-    std::mutex mu;  // guards ledger, family, counters
+    std::mutex mu;  // guards ledger, counters, and `retired`
     BudgetLedger ledger;
-    std::shared_ptr<ExtensionFamily> family;  // null until built
+    // Set (under mu) when a failed prewarm rolls this registration back:
+    // queries that raced the rollback are refused at admission instead of
+    // charging a ledger that is about to be discarded.
+    bool retired = false;
     long long queries_answered = 0;
     long long queries_failed = 0;
   };
@@ -181,9 +208,9 @@ class ReleaseServer {
   // The Δ grid the family is warmed with (the Algorithm 1 access pattern).
   static std::vector<double> WarmGrid(const Entry& entry);
 
-  // Returns the entry's family, building and warming it through the cache
-  // on first use. Takes entry.mu internally only for the pointer
-  // read/store; the build itself runs per-key-serialized in FamilyCache.
+  // Resolves the entry's family through the cache: a map-lookup hit when
+  // resident (warmed or warming), a pipelined build+warm on first use or
+  // after a byte-cap eviction. Never takes entry.mu or the server mutex.
   Result<std::shared_ptr<ExtensionFamily>> FamilyFor(Entry& entry);
 
   // Splits a child stream off the server Rng (serialized by mu_; callers

@@ -1,0 +1,217 @@
+// Tests for the sharded / pipelined ExtensionFamily construction path:
+// the one-pass partition must reproduce the old sequential
+// decompose-induce-measure loop exactly, the deferred (lazy-induction)
+// constructor plus Warm must be indistinguishable from the eager
+// constructor plus Values, and an async warm must serve concurrent
+// queries safely (this file runs under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// A varied multi-component graph: G(n, p) blocks, cliques, paths, and
+// isolated vertices, sized for Debug-friendly LP work.
+Graph RandomMultiComponentGraph(Rng& rng) {
+  std::vector<Graph> parts;
+  const int num_parts = 1 + static_cast<int>(rng.NextUint64(4));
+  for (int p = 0; p < num_parts; ++p) {
+    switch (rng.NextUint64(4)) {
+      case 0:
+        parts.push_back(gen::ErdosRenyi(
+            2 + static_cast<int>(rng.NextUint64(14)), 0.25, rng));
+        break;
+      case 1:
+        parts.push_back(
+            gen::Complete(2 + static_cast<int>(rng.NextUint64(5))));
+        break;
+      case 2:
+        parts.push_back(gen::Path(1 + static_cast<int>(rng.NextUint64(10))));
+        break;
+      default:
+        parts.push_back(gen::Empty(1 + static_cast<int>(rng.NextUint64(4))));
+        break;
+    }
+  }
+  return gen::DisjointUnion(parts);
+}
+
+TEST(FamilyConstructTest, ShardedConstructionMatchesSequentialOn200Graphs) {
+  // The sharded constructor (parallel per-component induction, f_sf from
+  // the |C| - 1 invariant) against a width-1 pool — i.e. the sequential
+  // construction schedule — and against the pre-shard recipe
+  // (ComponentVertexSets + Induce + SpanningForestSize) recomputed here.
+  // Components, f_sf, and the Values() tables must be identical.
+  Rng rng(4100);
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 8.0};
+  ThreadPool sequential_pool(1);
+  ThreadPool sharded_pool(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Graph g = RandomMultiComponentGraph(rng);
+
+    // The old sequential recipe, as the ground truth for the partition:
+    // every surviving component must be connected with f_sf = |C| - 1.
+    int reference_f_sf = 0;
+    for (const std::vector<int>& component : ComponentVertexSets(g)) {
+      if (component.size() < 2) continue;
+      const Graph induced = Induce(g, component).graph;
+      const int f_sf = SpanningForestSize(induced);
+      ASSERT_EQ(f_sf, static_cast<int>(component.size()) - 1)
+          << "trial " << trial;
+      reference_f_sf += f_sf;
+    }
+    ASSERT_EQ(reference_f_sf, SpanningForestSize(g)) << "trial " << trial;
+
+    std::vector<double> sequential_values;
+    {
+      ScopedThreadPool scoped(&sequential_pool);
+      ExtensionFamily family(g);
+      EXPECT_EQ(family.SpanningForestSizeValue(), reference_f_sf)
+          << "trial " << trial;
+      const auto values = family.Values(grid);
+      ASSERT_TRUE(values.ok()) << "trial " << trial;
+      sequential_values = *values;
+    }
+    {
+      ScopedThreadPool scoped(&sharded_pool);
+      ExtensionFamily family(g);
+      EXPECT_EQ(family.SpanningForestSizeValue(), reference_f_sf)
+          << "trial " << trial;
+      const auto values = family.Values(grid);
+      ASSERT_TRUE(values.ok()) << "trial " << trial;
+      // Bit-identical across thread widths, not merely close.
+      EXPECT_EQ(*values, sequential_values) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FamilyConstructTest, DeferredWarmMatchesEagerValues) {
+  Rng rng(4200);
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = RandomMultiComponentGraph(rng);
+
+    ExtensionFamily eager(g);
+    const auto eager_values = eager.Values(grid);
+    ASSERT_TRUE(eager_values.ok());
+
+    ExtensionFamily deferred(g, {}, ExtensionFamily::DeferInduction{});
+    ASSERT_TRUE(deferred.Warm(grid).ok());
+    const auto warmed_values = deferred.Values(grid);
+    ASSERT_TRUE(warmed_values.ok());
+
+    EXPECT_EQ(*warmed_values, *eager_values) << "trial " << trial;
+
+    // Same cells, same merge order, same caches: the post-warm state is
+    // indistinguishable, down to the work stats and the byte accounting.
+    const auto eager_stats = eager.stats();
+    const auto deferred_stats = deferred.stats();
+    EXPECT_EQ(deferred_stats.lp_evaluations, eager_stats.lp_evaluations);
+    EXPECT_EQ(deferred_stats.fast_certificates,
+              eager_stats.fast_certificates);
+    EXPECT_EQ(deferred_stats.cuts_added, eager_stats.cuts_added);
+    EXPECT_EQ(deferred.MemoryBytes(), eager.MemoryBytes())
+        << "trial " << trial;
+  }
+}
+
+TEST(FamilyConstructTest, DeferredFamilyReleasesHostGraphAfterFullWarm) {
+  // Until every component is induced, the deferred family retains a host
+  // copy of the graph; a full-grid warm induces everything and drops it.
+  Rng rng(4300);
+  const Graph g = gen::DisjointUnion(
+      {gen::ErdosRenyi(60, 0.05, rng), gen::Complete(8), gen::Path(40)});
+  ExtensionFamily deferred(g, {}, ExtensionFamily::DeferInduction{});
+  const std::size_t before = deferred.MemoryBytes();
+  EXPECT_GE(before, g.MemoryBytes());  // host copy is accounted
+
+  ASSERT_TRUE(deferred.Warm({1.0, 2.0, 4.0}).ok());
+  ExtensionFamily eager(g);
+  ASSERT_TRUE(eager.Values({1.0, 2.0, 4.0}).ok());
+  EXPECT_EQ(deferred.MemoryBytes(), eager.MemoryBytes());
+}
+
+TEST(FamilyConstructTest, WarmAsyncServesConcurrentQueries) {
+  // Queries racing an async warm must return correct values and block only
+  // on the cells they need — never on the whole warm. Run under TSan in
+  // CI, this is the load-while-querying proof at the family level.
+  Rng rng(4400);
+  const Graph g = gen::DisjointUnion(
+      {gen::ErdosRenyi(24, 0.15, rng), gen::Caterpillar(8, 2),
+       gen::Complete(6), gen::ErdosRenyi(16, 0.2, rng)});
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 8.0};
+
+  ExtensionFamily reference(g);
+  const std::vector<double> expected = reference.Values(grid).value();
+
+  ExtensionFamily shared(g, {}, ExtensionFamily::DeferInduction{});
+  shared.WarmAsync(grid);
+
+  constexpr int kCallers = 4;
+  std::vector<std::vector<double>> got(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&shared, &got, &grid, i] {
+      if (i % 2 == 0) {
+        got[i] = shared.Values(grid).value();
+      } else {
+        got[i].reserve(grid.size());
+        for (double delta : grid) {
+          got[i].push_back(shared.Value(delta).value());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(shared.WaitWarm().ok());
+
+  for (int i = 0; i < kCallers; ++i) {
+    ASSERT_EQ(got[i].size(), expected.size()) << "caller " << i;
+    for (std::size_t d = 0; d < expected.size(); ++d) {
+      EXPECT_NEAR(got[i][d], expected[d], kTol)
+          << "caller " << i << " delta " << grid[d];
+    }
+  }
+
+  // The in-flight cell registry deduplicates work across the warm and all
+  // callers: no (component, Δ) cell is ever solved twice, so the total
+  // work cannot exceed one cold batch's (it can be less, when one batch's
+  // merged watermark settles cells before another batch plans them).
+  ExtensionFamily::Stats cold_stats;
+  {
+    ExtensionFamily cold(g);
+    ASSERT_TRUE(cold.Values(grid).ok());
+    cold_stats = cold.stats();
+  }
+  const auto stats = shared.stats();
+  EXPECT_LE(stats.lp_evaluations, cold_stats.lp_evaluations);
+  EXPECT_LE(stats.fast_certificates, cold_stats.fast_certificates);
+}
+
+TEST(FamilyConstructTest, MemoryBytesGrowsWithWarmState) {
+  Rng rng(4500);
+  const Graph g = gen::ErdosRenyi(40, 0.15, rng);
+  ExtensionFamily family(g);
+  const std::size_t cold = family.MemoryBytes();
+  EXPECT_GT(cold, 0u);
+  ASSERT_TRUE(family.Values({1.0, 2.0, 4.0}).ok());
+  // Warm state (value cache, cut pools) is accounted.
+  EXPECT_GE(family.MemoryBytes(), cold);
+}
+
+}  // namespace
+}  // namespace nodedp

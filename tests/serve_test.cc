@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -106,6 +107,41 @@ TEST(FamilyCacheTest, EvictedEntrySurvivesForHolders) {
   // The handed-out shared_ptr still answers queries.
   const Result<double> value = (*family)->Value(1.0);
   EXPECT_TRUE(value.ok());
+}
+
+TEST(FamilyCacheTest, ByteCapEvictsLeastRecentlyUsed) {
+  FamilyCache cache;
+  EXPECT_EQ(cache.byte_cap(), 0u);  // unlimited unless configured
+  const std::vector<double> grid = {1.0, 2.0, 4.0};
+  const Graph ga = TestGraph(200, 1.5, 1);
+  const Graph gb = TestGraph(200, 1.5, 2);
+  const auto fa = cache.GetOrCreate("a", ga, grid, {});
+  const auto fb = cache.GetOrCreate("b", gb, grid, {});
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_GE(cache.stats().bytes, (*fa)->MemoryBytes());
+
+  // Touch "a" so "b" becomes least recently used, then cap below the pair:
+  // exactly "b" must go.
+  ASSERT_TRUE(cache.GetOrCreate("a", ga, grid, {}).ok());
+  cache.SetByteCap((*fa)->MemoryBytes() + (*fb)->MemoryBytes() / 2);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_LE(stats.bytes, stats.byte_cap);
+
+  // The evicted family survives for in-flight holders, and a rebuild under
+  // the same key re-enters the cache (the newest entry is never evicted,
+  // even when it alone exceeds the cap).
+  EXPECT_TRUE((*fb)->Value(1.0).ok());
+  cache.SetByteCap(1);
+  const auto rebuilt = cache.GetOrCreate("b", gb, grid, {});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_GE(cache.stats().evictions, 2);  // "a" went to make room
 }
 
 // ---------------------------------------------------------------------------
@@ -310,6 +346,98 @@ TEST(ReleaseServerTest, ConcurrentQueriesAndStatsAreSafe) {
   EXPECT_EQ(stats->queries_answered, 2 * 8 + 2 * 8 * 2);
   EXPECT_EQ(stats->queries_failed, 0);
   EXPECT_EQ(stats->budget.num_refusals, 0);
+}
+
+TEST(ReleaseServerTest, QueriesDuringPrewarmAreServed) {
+  // The graph is registered before the load-time warm runs, so queries
+  // racing the load must be either NotFound (not yet registered) or served
+  // by the warming family — never wedged behind the whole warm and never
+  // wrong. Run under TSan in CI, this is the concurrent
+  // load-while-querying proof at the server level.
+  ReleaseServer server(21);
+  const Graph g = TestGraph(2000, 1.5, 33);
+  std::atomic<bool> load_finished{false};
+  std::atomic<bool> load_ok{false};
+  std::thread loader([&server, &g, &load_finished, &load_ok] {
+    load_ok.store(server.Load("g", g, SmallConfig(1e6)).ok());
+    load_finished.store(true);
+  });
+
+  // Spin until the load settles and (if it succeeded) at least one query
+  // was answered; a failed load exits the loop instead of spinning forever.
+  long long answered = 0;
+  while (!load_finished.load() || (load_ok.load() && answered == 0)) {
+    const auto release = server.ReleaseCc("g", 0.25);
+    if (release.ok()) {
+      ++answered;
+      EXPECT_TRUE(std::isfinite(release->estimate));
+    } else {
+      EXPECT_EQ(release.status().code(), StatusCode::kNotFound);
+      std::this_thread::yield();
+    }
+  }
+  loader.join();
+  ASSERT_TRUE(load_ok.load());
+
+  const auto stats = server.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->family_warmed);
+  EXPECT_EQ(stats->queries_answered, answered);
+  EXPECT_EQ(stats->queries_failed, 0);
+  EXPECT_DOUBLE_EQ(stats->budget.spent, 0.25 * answered);
+}
+
+TEST(ReleaseServerTest, FailedPrewarmRollsBackRegistration) {
+  // A warm that dies on LP resource exhaustion must surface the error and
+  // (when no query spent budget mid-warm) leave nothing registered, so a
+  // corrected reload starts clean.
+  ReleaseServer server(11);
+  ServeGraphConfig broken = SmallConfig(5.0);
+  broken.release.extension.use_repair_fast_path = false;
+  broken.release.extension.polytope.max_cut_rounds = 0;  // LP always fails
+  const Status loaded = server.Load("g", TestGraph(), broken);
+  EXPECT_EQ(loaded.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(server.GraphNames().empty());
+  EXPECT_EQ(server.ReleaseCc("g", 0.5).status().code(),
+            StatusCode::kNotFound);
+  // The name is free for a working reload.
+  EXPECT_TRUE(server.Load("g", TestGraph(), SmallConfig(5.0)).ok());
+  EXPECT_TRUE(server.ReleaseCc("g", 0.5).ok());
+}
+
+TEST(ReleaseServerTest, FamilyByteCapEvictsAndRebuilds) {
+  // Under a byte cap the cache evicts least-recently-used families; their
+  // graphs stay registered and the next query transparently rebuilds.
+  ReleaseServer server(11);
+  ASSERT_TRUE(server.Load("g1", TestGraph(200, 1.5, 1),
+                          SmallConfig(100.0)).ok());
+  ASSERT_TRUE(server.Load("g2", TestGraph(200, 1.5, 2),
+                          SmallConfig(100.0)).ok());
+  auto cache = server.family_cache_stats();
+  EXPECT_EQ(cache.entries, 2);
+  EXPECT_GT(cache.bytes, 0u);
+  EXPECT_GT(server.Stats("g1")->family_memory_bytes, 0u);
+
+  server.SetFamilyCacheByteCap(1);  // evict everything evictable
+  cache = server.family_cache_stats();
+  EXPECT_EQ(cache.entries, 0);
+  EXPECT_EQ(cache.evictions, 2);
+  EXPECT_FALSE(server.Stats("g1")->family_warmed);
+  EXPECT_EQ(server.Stats("g1")->family_memory_bytes, 0u);
+
+  // Queries still work: each rebuilds its family on demand (the fresh
+  // build is pinned while in use, then evicted to honor the tiny cap).
+  const long long misses_before = cache.misses;
+  ASSERT_TRUE(server.ReleaseCc("g1", 0.5).ok());
+  ASSERT_TRUE(server.ReleaseCc("g2", 0.5).ok());
+  cache = server.family_cache_stats();
+  EXPECT_EQ(cache.misses, misses_before + 2);
+
+  // With the cap lifted, the next query's rebuild stays resident again.
+  server.SetFamilyCacheByteCap(0);
+  ASSERT_TRUE(server.ReleaseCc("g2", 0.5).ok());
+  EXPECT_TRUE(server.Stats("g2")->family_warmed);
+  EXPECT_GT(server.Stats("g2")->family_memory_bytes, 0u);
 }
 
 // ---------------------------------------------------------------------------
