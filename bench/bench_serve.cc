@@ -35,6 +35,9 @@
 #include <string>
 #include <vector>
 
+#include <mutex>
+#include <thread>
+
 #include "core/extension_family.h"
 #include "core/private_cc.h"
 #include "eval/json_report.h"
@@ -42,6 +45,8 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "serve/release_server.h"
+#include "serve/socket_client.h"
+#include "serve/socket_server.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -184,6 +189,84 @@ int main() {
     table.EndRow();
     add_record("warm_query", ns / kWarmQueries,
                {{"queries", kWarmQueries}});
+  }
+
+  // --- socket_hammer: concurrent clients over the TCP front end ------------
+  {
+    // connections x queries against the warmed server through a real
+    // socket: measures the full request path (framing, dispatch, release,
+    // reply) under concurrency, not just the mechanism. Per-request
+    // latencies aggregate to p50/p99 — tail latency is what a slow client
+    // of a multi-tenant release server actually experiences.
+    constexpr int kConnections = 8;
+    constexpr int kQueriesPerConn = 32;
+    SocketServer socket_server(&server);
+    const Status started = socket_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "socket server failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::vector<double> latencies_ns;
+    latencies_ns.reserve(kConnections * kQueriesPerConn);
+    std::mutex latencies_mu;
+    bool hammer_ok = true;
+    const auto hammer_start = Clock::now();
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kConnections);
+      for (int c = 0; c < kConnections; ++c) {
+        clients.emplace_back([&socket_server, &latencies_ns, &latencies_mu,
+                              &hammer_ok] {
+          auto client =
+              SocketClient::Connect("127.0.0.1", socket_server.port());
+          std::vector<double> mine;
+          mine.reserve(kQueriesPerConn);
+          bool ok = client.ok();
+          for (int q = 0; ok && q < kQueriesPerConn; ++q) {
+            const auto start = Clock::now();
+            const auto response = client->Request("release_cc g 0.25");
+            const double ns = ElapsedNs(start);
+            ok = response.ok() && response->rfind("ok ", 0) == 0;
+            mine.push_back(ns);
+          }
+          std::lock_guard<std::mutex> lock(latencies_mu);
+          if (!ok) hammer_ok = false;
+          latencies_ns.insert(latencies_ns.end(), mine.begin(), mine.end());
+        });
+      }
+      for (std::thread& t : clients) t.join();
+    }
+    const double hammer_ns = ElapsedNs(hammer_start);
+    socket_server.Stop();
+    if (!hammer_ok ||
+        latencies_ns.size() !=
+            static_cast<std::size_t>(kConnections * kQueriesPerConn)) {
+      std::fprintf(stderr, "socket hammer failed\n");
+      return 1;
+    }
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    const auto percentile = [&latencies_ns](double p) {
+      const std::size_t at = std::min(
+          latencies_ns.size() - 1,
+          static_cast<std::size_t>(p * (latencies_ns.size() - 1) + 0.5));
+      return latencies_ns[at];
+    };
+    const double p50_ns = percentile(0.50);
+    const double p99_ns = percentile(0.99);
+    table.Cell("socket_hammer")
+        .Cell(hammer_ns * 1e-6, 1)
+        .Cell("8 conns x 32 release_cc");
+    table.EndRow();
+    table.Cell("socket_p50/p99")
+        .Cell(p50_ns * 1e-6, 3)
+        .Cell("p99 = " + std::to_string(p99_ns * 1e-6) + " ms");
+    table.EndRow();
+    add_record("socket_hammer", hammer_ns,
+               {{"connections", kConnections},
+                {"queries", kConnections * kQueriesPerConn},
+                {"p50_ns", p50_ns},
+                {"p99_ns", p99_ns}});
   }
 
   // --- family_construct: sharded construction, 4 threads vs 1 --------------

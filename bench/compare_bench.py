@@ -10,12 +10,17 @@ real_ns grew by more than --threshold (default 1.25, i.e. +25%) fails the
 run. CI's smoke timings are noisy by design, so the CI step runs without
 --strict and uses the output purely as a trend line.
 
+A missing baseline file is not an error: the first run of a new suite (or
+a fresh checkout without bench/baselines/) has nothing to compare against,
+so the script says so and exits 0 rather than failing the pipeline.
+
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25] [--strict]
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -58,6 +63,11 @@ def main():
         "--strict", action="store_true",
         help="exit non-zero if any benchmark regresses past the threshold")
     args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}: nothing to compare against "
+              f"(first run of this suite?); skipping comparison")
+        return 0
 
     base_doc, base = load_report(args.baseline)
     cur_doc, cur = load_report(args.current)

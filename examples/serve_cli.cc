@@ -1,309 +1,169 @@
-// serve_cli: line-oriented front end to serve/ReleaseServer — a release
-// server driven over stdin/stdout, one request per line, one `ok ...` or
-// `err ...` response per request (protocol spec: docs/SERVING.md).
+// serve_cli: front end to serve/ReleaseServer speaking the docs/SERVING.md
+// line protocol — one request per line, one `ok ...` or `err ...` response
+// per request, all dispatch through serve/protocol.h so every mode speaks
+// exactly the same protocol.
 //
-// Usage: serve_cli [--seed S]
+// Modes:
+//   serve_cli [--seed S] [--state DIR]
+//       stdin/stdout loop (the original mode): requests on stdin, one
+//       response line each on stdout; EOF or `quit` exits 0.
+//   serve_cli --listen PORT [--seed S] [--state DIR]
+//       TCP server (serve/socket_server.h): concurrent clients, per-
+//       connection parse isolation, bounded accept queue. PORT 0 picks an
+//       ephemeral port. Prints `ok listening port=<p> pid=<p>` on stdout
+//       when ready, then runs until SIGINT/SIGTERM.
+//   serve_cli --connect HOST:PORT
+//       client: pumps stdin request lines to a listening serve_cli and
+//       prints each response — the scripting shim for CI and operators
+//       (blank/# lines are skipped client-side, as the protocol ignores
+//       them server-side).
 //
-// Requests:
-//   load <name> <path> [budget] [delta_max]
-//       Register a graph file (binary NDPG or text edge list, auto-detected)
-//       under <name> with total privacy budget [budget] (default 10) and
-//       public degree cap [delta_max] (default: n). Builds and warms the
-//       extension family, so `load` is the expensive step.
+// --state DIR makes privacy-budget ledgers durable (serve/ledger_wal.h):
+// every admission is write-ahead logged under DIR before the mechanism
+// runs, and a restart with the same DIR restores every graph's ledger —
+// spend-to-refusal survives crash and restart. Without --state, ledgers
+// are process-lifetime only (suitable for exploration, not deployment).
+//
+// Requests (see docs/SERVING.md for the full table):
+//   load <name> <path> [budget] [delta_max]     register a graph file
 //   gen <name> gnp <n> <avg_deg> <seed> [budget] [delta_max]
-//       Generate and register a G(n, avg_deg/n) graph (no file needed).
 //   save <name> <path> [text|binary]
-//       Write a registered graph back out (default binary).
-//   release_cc <name> <epsilon>
+//   release_cc <name> <epsilon>                 one ε-node-private release
 //   release_sf <name> <epsilon>
-//       One ε-node-private release (Eq. (1) / Algorithm 1). Charges ε.
-//   sweep <name> <eps1> <eps2> ...
-//       Releases at every listed ε against the one warmed family; charges
-//       Σ ε_i all-or-nothing.
-//   budget <name>        Ledger state: total / spent / remaining / refusals.
-//   stats [<name>]       Per-graph (or registry-wide) telemetry, including
-//                        family/cache memory bytes and cap evictions.
-//   evict <name>         Unregister and drop the warmed family.
-//   quit                 Exit 0 (EOF does the same).
+//   sweep <name> <eps1> <eps2> ...              Σ εᵢ charged all-or-nothing
+//   budget <name>   stats [<name>]   evict <name>   quit
 //
-// Environment: NODEDP_FAMILY_CACHE_BYTES caps total resident family memory;
-// least-recently-used families are evicted to fit (their graphs stay
-// registered — the next query rebuilds). Unset or 0 means unlimited.
+// Environment: NODEDP_FAMILY_CACHE_BYTES caps total resident family
+// memory (least-recently-used families evicted; graphs stay registered).
 
+#include <pthread.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "graph/generators.h"
-#include "graph/graph_io.h"
+#include "serve/protocol.h"
 #include "serve/release_server.h"
-#include "util/random.h"
+#include "serve/socket_client.h"
+#include "serve/socket_server.h"
 
 namespace {
 
 using namespace nodedp;
 
-// Parses a strictly positive double, returning false on garbage.
-bool ParsePositiveDouble(const std::string& token, double* out) {
-  char* end = nullptr;
-  const double value = std::strtod(token.c_str(), &end);
-  if (end == token.c_str() || *end != '\0' || !(value > 0.0)) return false;
-  *out = value;
-  return true;
-}
-
-bool ParseNonNegativeInt(const std::string& token, long long* out) {
-  char* end = nullptr;
-  const long long value = std::strtoll(token.c_str(), &end, 10);
-  if (end == token.c_str() || *end != '\0' || value < 0) return false;
-  *out = value;
-  return true;
-}
-
-// `load`/`gen` share the trailing [budget] [delta_max] arguments.
-bool ParseConfigTail(const std::vector<std::string>& args, std::size_t from,
-                     ServeGraphConfig* config, std::string* error) {
-  if (args.size() > from) {
-    if (!ParsePositiveDouble(args[from], &config->total_epsilon)) {
-      *error = "budget must be a positive number";
-      return false;
+int RunStdinLoop(ReleaseServer& server) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const ProtocolReply reply = HandleRequestLine(server, line);
+    if (!reply.response.empty()) {
+      std::printf("%s\n", reply.response.c_str());
+      std::fflush(stdout);
     }
+    if (reply.quit) return 0;
   }
-  if (args.size() > from + 1) {
-    long long delta_max = 0;
-    if (!ParseNonNegativeInt(args[from + 1], &delta_max) || delta_max <= 0 ||
-        delta_max > 2147483647LL) {
-      *error = "delta_max must be a positive int";
-      return false;
-    }
-    config->release.delta_max = static_cast<int>(delta_max);
-  }
-  return true;
+  return 0;
 }
 
-void PrintBudget(const BudgetReport& budget) {
-  std::printf(
-      "ok total=%.6g spent=%.6g remaining=%.6g charges=%d refusals=%d\n",
-      budget.total, budget.spent, budget.remaining, budget.num_charges,
-      budget.num_refusals);
+int RunListen(ReleaseServer& server, int port) {
+  // Block the shutdown signals first so they are delivered to sigwait
+  // below, not to the default handler, no matter when they arrive.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  SocketServerOptions options;
+  options.port = port;
+  SocketServer socket_server(&server, options);
+  const Status started = socket_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "err %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ok listening port=%d pid=%d\n", socket_server.port(),
+              static_cast<int>(getpid()));
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("ok shutting down (signal %d)\n", signal_number);
+  socket_server.Stop();
+  return 0;
+}
+
+int RunConnect(const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "err --connect needs HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  Result<SocketClient> client = SocketClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "err %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Mirror the protocol's no-response lines client-side, or we would
+    // wait forever for replies that never come.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const Result<std::string> response = client->Request(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "err %s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    std::fflush(stdout);
+    if (*response == "ok bye") return 0;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
+  int listen_port = -1;
+  std::string state_dir;
+  std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--listen" && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+    } else if (flag == "--state" && i + 1 < argc) {
+      state_dir = argv[++i];
+    } else if (flag == "--connect" && i + 1 < argc) {
+      connect_target = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--seed S]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--seed S] [--state DIR] [--listen PORT]\n"
+                   "       %s --connect HOST:PORT\n",
+                   argv[0], argv[0]);
       return 2;
     }
   }
 
+  if (!connect_target.empty()) return RunConnect(connect_target);
+
   ReleaseServer server(seed);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream stream(line);
-    std::vector<std::string> args;
-    std::string token;
-    while (stream >> token) args.push_back(token);
-    if (args.empty() || args[0][0] == '#') continue;
-    const std::string& command = args[0];
-
-    if (command == "quit") {
-      std::printf("ok bye\n");
-      return 0;
+  if (!state_dir.empty()) {
+    const Status durable = server.EnableDurableLedgers(state_dir);
+    if (!durable.ok()) {
+      std::fprintf(stderr, "err %s\n", durable.ToString().c_str());
+      return 1;
     }
-
-    if (command == "load") {
-      if (args.size() < 3 || args.size() > 5) {
-        std::printf("err usage: load <name> <path> [budget] [delta_max]\n");
-        continue;
-      }
-      ServeGraphConfig config;
-      std::string error;
-      if (!ParseConfigTail(args, 3, &config, &error)) {
-        std::printf("err %s\n", error.c_str());
-        continue;
-      }
-      const Status loaded = server.LoadFromFile(args[1], args[2], config);
-      if (!loaded.ok()) {
-        std::printf("err %s\n", loaded.ToString().c_str());
-        continue;
-      }
-      const auto stats = server.Stats(args[1]);
-      std::printf("ok loaded %s n=%d m=%d budget=%.6g warmed=%d\n",
-                  args[1].c_str(), stats->num_vertices, stats->num_edges,
-                  stats->budget.total, stats->family_warmed ? 1 : 0);
-    } else if (command == "gen") {
-      if (args.size() < 6 || args.size() > 8 || args[2] != "gnp") {
-        std::printf(
-            "err usage: gen <name> gnp <n> <avg_deg> <seed> [budget] "
-            "[delta_max]\n");
-        continue;
-      }
-      long long n = 0;
-      double avg_deg = 0.0;
-      long long gen_seed = 0;
-      if (!ParseNonNegativeInt(args[3], &n) || n <= 0 ||
-          n > 2147483647LL ||
-          !ParsePositiveDouble(args[4], &avg_deg) ||
-          !ParseNonNegativeInt(args[5], &gen_seed)) {
-        std::printf("err gen: bad n / avg_deg / seed\n");
-        continue;
-      }
-      ServeGraphConfig config;
-      std::string error;
-      if (!ParseConfigTail(args, 6, &config, &error)) {
-        std::printf("err %s\n", error.c_str());
-        continue;
-      }
-      Rng rng(static_cast<std::uint64_t>(gen_seed));
-      Graph g = gen::ErdosRenyi(static_cast<int>(n),
-                                avg_deg / static_cast<double>(n), rng);
-      const int num_vertices = g.NumVertices();
-      const int num_edges = g.NumEdges();
-      const Status loaded = server.Load(args[1], std::move(g), config);
-      if (!loaded.ok()) {
-        std::printf("err %s\n", loaded.ToString().c_str());
-        continue;
-      }
-      std::printf("ok generated %s n=%d m=%d budget=%.6g\n", args[1].c_str(),
-                  num_vertices, num_edges, config.total_epsilon);
-    } else if (command == "save") {
-      if (args.size() < 3 || args.size() > 4) {
-        std::printf("err usage: save <name> <path> [text|binary]\n");
-        continue;
-      }
-      const bool text = args.size() == 4 && args[3] == "text";
-      if (args.size() == 4 && args[3] != "text" && args[3] != "binary") {
-        std::printf("err save: format must be text or binary\n");
-        continue;
-      }
-      const Status saved = server.Save(args[1], args[2], /*binary=*/!text);
-      if (!saved.ok()) {
-        std::printf("err %s\n", saved.ToString().c_str());
-        continue;
-      }
-      std::printf("ok saved %s %s\n", args[1].c_str(),
-                  text ? "text" : "binary");
-    } else if (command == "release_cc" || command == "release_sf") {
-      if (args.size() != 3) {
-        std::printf("err usage: %s <name> <epsilon>\n", command.c_str());
-        continue;
-      }
-      double epsilon = 0.0;
-      if (!ParsePositiveDouble(args[2], &epsilon)) {
-        std::printf("err epsilon must be a positive number\n");
-        continue;
-      }
-      if (command == "release_cc") {
-        const auto release = server.ReleaseCc(args[1], epsilon);
-        if (!release.ok()) {
-          std::printf("err %s\n", release.status().ToString().c_str());
-          continue;
-        }
-        std::printf("ok cc=%.3f eps=%.6g delta=%d\n", release->estimate,
-                    epsilon, release->forest.selected_delta);
-      } else {
-        const auto release = server.ReleaseSf(args[1], epsilon);
-        if (!release.ok()) {
-          std::printf("err %s\n", release.status().ToString().c_str());
-          continue;
-        }
-        std::printf("ok sf=%.3f eps=%.6g delta=%d\n", release->estimate,
-                    epsilon, release->selected_delta);
-      }
-    } else if (command == "sweep") {
-      if (args.size() < 3) {
-        std::printf("err usage: sweep <name> <eps1> <eps2> ...\n");
-        continue;
-      }
-      std::vector<double> epsilons;
-      bool bad = false;
-      for (std::size_t i = 2; i < args.size(); ++i) {
-        double epsilon = 0.0;
-        if (!ParsePositiveDouble(args[i], &epsilon)) {
-          bad = true;
-          break;
-        }
-        epsilons.push_back(epsilon);
-      }
-      if (bad) {
-        std::printf("err sweep: every epsilon must be a positive number\n");
-        continue;
-      }
-      const auto releases = server.SweepCc(args[1], epsilons);
-      if (!releases.ok()) {
-        std::printf("err %s\n", releases.status().ToString().c_str());
-        continue;
-      }
-      std::printf("ok sweep k=%zu", releases->size());
-      for (std::size_t i = 0; i < releases->size(); ++i) {
-        std::printf(" %.6g:%.3f", epsilons[i], (*releases)[i].estimate);
-      }
-      std::printf("\n");
-    } else if (command == "budget") {
-      if (args.size() != 2) {
-        std::printf("err usage: budget <name>\n");
-        continue;
-      }
-      const auto budget = server.Budget(args[1]);
-      if (!budget.ok()) {
-        std::printf("err %s\n", budget.status().ToString().c_str());
-        continue;
-      }
-      PrintBudget(*budget);
-    } else if (command == "stats") {
-      if (args.size() == 1) {
-        const auto names = server.GraphNames();
-        const auto cache = server.family_cache_stats();
-        std::printf("ok graphs=%zu cache_entries=%d cache_warming=%d "
-                    "cache_bytes=%zu cache_cap=%zu cache_hits=%lld "
-                    "cache_misses=%lld cache_evictions=%lld\n",
-                    names.size(), cache.entries, cache.warming, cache.bytes,
-                    cache.byte_cap, cache.hits, cache.misses,
-                    cache.evictions);
-      } else if (args.size() == 2) {
-        const auto stats = server.Stats(args[1]);
-        if (!stats.ok()) {
-          std::printf("err %s\n", stats.status().ToString().c_str());
-          continue;
-        }
-        std::printf(
-            "ok n=%d m=%d memory_bytes=%zu warmed=%d family_bytes=%zu "
-            "answered=%lld failed=%lld spent=%.6g remaining=%.6g "
-            "lp_evals=%d fast_certs=%d cache_hits=%d\n",
-            stats->num_vertices, stats->num_edges, stats->graph_memory_bytes,
-            stats->family_warmed ? 1 : 0, stats->family_memory_bytes,
-            stats->queries_answered, stats->queries_failed,
-            stats->budget.spent, stats->budget.remaining,
-            stats->family.lp_evaluations, stats->family.fast_certificates,
-            stats->family.cache_hits);
-      } else {
-        std::printf("err usage: stats [<name>]\n");
-      }
-    } else if (command == "evict") {
-      if (args.size() != 2) {
-        std::printf("err usage: evict <name>\n");
-        continue;
-      }
-      const Status evicted = server.Evict(args[1]);
-      if (!evicted.ok()) {
-        std::printf("err %s\n", evicted.ToString().c_str());
-        continue;
-      }
-      std::printf("ok evicted %s\n", args[1].c_str());
-    } else {
-      std::printf("err unknown command '%s'\n", command.c_str());
-    }
-    std::fflush(stdout);
   }
-  return 0;
+  if (listen_port >= 0) return RunListen(server, listen_port);
+  return RunStdinLoop(server);
 }

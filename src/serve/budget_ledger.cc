@@ -26,4 +26,16 @@ Status BudgetLedger::TryCharge(double epsilon, std::string label) {
   return Status::OK();
 }
 
+Status BudgetLedger::RestoreCharge(double epsilon, std::string label) {
+  if (!accountant_.CanSpend(epsilon)) {
+    return Status::Internal(
+        "restored ledger is corrupt: charge '" + label + "' of " +
+        std::to_string(epsilon) + " does not fit " +
+        std::to_string(accountant_.remaining()) + " of " +
+        std::to_string(accountant_.total()));
+  }
+  accountant_.Spend(epsilon, std::move(label));
+  return Status::OK();
+}
+
 }  // namespace nodedp

@@ -42,6 +42,22 @@ class BudgetLedger {
   // InvalidArgument.
   Status TryCharge(double epsilon, std::string label);
 
+  // Whether TryCharge(epsilon, ...) would be admitted right now. Lets the
+  // durable-ledger path (serve/ledger_wal.h) order the admission decision
+  // before the write-ahead record before the in-memory charge, all on the
+  // accountant's one admission predicate.
+  bool CanCharge(double epsilon) const { return accountant_.CanSpend(epsilon); }
+
+  // Re-admits a charge from a durable record during WAL replay. Unlike
+  // TryCharge, a failure is Internal (a restored ledger that does not fit
+  // its own total is corrupt state, not a client refusal) and the refusal
+  // counter is untouched.
+  Status RestoreCharge(double epsilon, std::string label);
+
+  // Restores the refusal counter from a durable record (telemetry only;
+  // never affects admission).
+  void SetRefusals(int num_refusals) { num_refusals_ = num_refusals; }
+
   double total() const { return accountant_.total(); }
   double spent() const { return accountant_.spent(); }
   double remaining() const { return accountant_.remaining(); }

@@ -1,0 +1,289 @@
+#include "serve/protocol.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace nodedp {
+
+namespace {
+
+// printf-style append; responses are built in memory so every transport
+// (stdout, socket) sends exactly one write per reply.
+void Appendf(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n <= 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(buffer)) {
+    out->append(buffer, static_cast<std::size_t>(n));
+    return;
+  }
+  std::vector<char> big(static_cast<std::size_t>(n) + 1);
+  va_start(args, format);
+  std::vsnprintf(big.data(), big.size(), format, args);
+  va_end(args);
+  out->append(big.data(), static_cast<std::size_t>(n));
+}
+
+// Parses a strictly positive double, returning false on garbage.
+bool ParsePositiveDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || !(value > 0.0)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseNonNegativeInt(const std::string& token, long long* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+// `load`/`gen` share the trailing [budget] [delta_max] arguments.
+bool ParseConfigTail(const std::vector<std::string>& args, std::size_t from,
+                     ServeGraphConfig* config, std::string* error) {
+  if (args.size() > from) {
+    if (!ParsePositiveDouble(args[from], &config->total_epsilon)) {
+      *error = "budget must be a positive number";
+      return false;
+    }
+  }
+  if (args.size() > from + 1) {
+    long long delta_max = 0;
+    if (!ParseNonNegativeInt(args[from + 1], &delta_max) || delta_max <= 0 ||
+        delta_max > 2147483647LL) {
+      *error = "delta_max must be a positive int";
+      return false;
+    }
+    config->release.delta_max = static_cast<int>(delta_max);
+  }
+  return true;
+}
+
+std::string BudgetResponse(const BudgetReport& budget) {
+  std::string out;
+  Appendf(&out,
+          "ok total=%.6g spent=%.6g remaining=%.6g charges=%d refusals=%d",
+          budget.total, budget.spent, budget.remaining, budget.num_charges,
+          budget.num_refusals);
+  return out;
+}
+
+}  // namespace
+
+ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
+  ProtocolReply reply;
+  // Tolerate CRLF transports.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::istringstream stream{std::string(line)};
+  std::vector<std::string> args;
+  std::string token;
+  while (stream >> token) args.push_back(token);
+  if (args.empty() || args[0][0] == '#') return reply;
+  const std::string& command = args[0];
+  std::string& out = reply.response;
+
+  if (command == "quit") {
+    out = "ok bye";
+    reply.quit = true;
+    return reply;
+  }
+
+  if (command == "load") {
+    if (args.size() < 3 || args.size() > 5) {
+      out = "err usage: load <name> <path> [budget] [delta_max]";
+      return reply;
+    }
+    ServeGraphConfig config;
+    std::string error;
+    if (!ParseConfigTail(args, 3, &config, &error)) {
+      out = "err " + error;
+      return reply;
+    }
+    const Status loaded = server.LoadFromFile(args[1], args[2], config);
+    if (!loaded.ok()) {
+      out = "err " + loaded.ToString();
+      return reply;
+    }
+    const auto stats = server.Stats(args[1]);
+    Appendf(&out, "ok loaded %s n=%d m=%d budget=%.6g warmed=%d",
+            args[1].c_str(), stats->num_vertices, stats->num_edges,
+            stats->budget.total, stats->family_warmed ? 1 : 0);
+  } else if (command == "gen") {
+    if (args.size() < 6 || args.size() > 8 || args[2] != "gnp") {
+      out =
+          "err usage: gen <name> gnp <n> <avg_deg> <seed> [budget] "
+          "[delta_max]";
+      return reply;
+    }
+    long long n = 0;
+    double avg_deg = 0.0;
+    long long gen_seed = 0;
+    if (!ParseNonNegativeInt(args[3], &n) || n <= 0 || n > 2147483647LL ||
+        !ParsePositiveDouble(args[4], &avg_deg) ||
+        !ParseNonNegativeInt(args[5], &gen_seed)) {
+      out = "err gen: bad n / avg_deg / seed";
+      return reply;
+    }
+    ServeGraphConfig config;
+    std::string error;
+    if (!ParseConfigTail(args, 6, &config, &error)) {
+      out = "err " + error;
+      return reply;
+    }
+    Rng rng(static_cast<std::uint64_t>(gen_seed));
+    Graph g = gen::ErdosRenyi(static_cast<int>(n),
+                              avg_deg / static_cast<double>(n), rng);
+    const int num_vertices = g.NumVertices();
+    const int num_edges = g.NumEdges();
+    const Status loaded = server.Load(args[1], std::move(g), config);
+    if (!loaded.ok()) {
+      out = "err " + loaded.ToString();
+      return reply;
+    }
+    // Report the budget the server actually adopted: with durable ledgers
+    // a reload inherits the restored total, not the config's.
+    const auto budget = server.Budget(args[1]);
+    Appendf(&out, "ok generated %s n=%d m=%d budget=%.6g", args[1].c_str(),
+            num_vertices, num_edges,
+            budget.ok() ? budget->total : config.total_epsilon);
+  } else if (command == "save") {
+    if (args.size() < 3 || args.size() > 4) {
+      out = "err usage: save <name> <path> [text|binary]";
+      return reply;
+    }
+    const bool text = args.size() == 4 && args[3] == "text";
+    if (args.size() == 4 && args[3] != "text" && args[3] != "binary") {
+      out = "err save: format must be text or binary";
+      return reply;
+    }
+    const Status saved = server.Save(args[1], args[2], /*binary=*/!text);
+    if (!saved.ok()) {
+      out = "err " + saved.ToString();
+      return reply;
+    }
+    Appendf(&out, "ok saved %s %s", args[1].c_str(),
+            text ? "text" : "binary");
+  } else if (command == "release_cc" || command == "release_sf") {
+    if (args.size() != 3) {
+      out = "err usage: " + command + " <name> <epsilon>";
+      return reply;
+    }
+    double epsilon = 0.0;
+    if (!ParsePositiveDouble(args[2], &epsilon)) {
+      out = "err epsilon must be a positive number";
+      return reply;
+    }
+    if (command == "release_cc") {
+      const auto release = server.ReleaseCc(args[1], epsilon);
+      if (!release.ok()) {
+        out = "err " + release.status().ToString();
+        return reply;
+      }
+      Appendf(&out, "ok cc=%.3f eps=%.6g delta=%d", release->estimate,
+              epsilon, release->forest.selected_delta);
+    } else {
+      const auto release = server.ReleaseSf(args[1], epsilon);
+      if (!release.ok()) {
+        out = "err " + release.status().ToString();
+        return reply;
+      }
+      Appendf(&out, "ok sf=%.3f eps=%.6g delta=%d", release->estimate,
+              epsilon, release->selected_delta);
+    }
+  } else if (command == "sweep") {
+    if (args.size() < 3) {
+      out = "err usage: sweep <name> <eps1> <eps2> ...";
+      return reply;
+    }
+    std::vector<double> epsilons;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      double epsilon = 0.0;
+      if (!ParsePositiveDouble(args[i], &epsilon)) {
+        out = "err sweep: every epsilon must be a positive number";
+        return reply;
+      }
+      epsilons.push_back(epsilon);
+    }
+    const auto releases = server.SweepCc(args[1], epsilons);
+    if (!releases.ok()) {
+      out = "err " + releases.status().ToString();
+      return reply;
+    }
+    Appendf(&out, "ok sweep k=%zu", releases->size());
+    for (std::size_t i = 0; i < releases->size(); ++i) {
+      Appendf(&out, " %.6g:%.3f", epsilons[i], (*releases)[i].estimate);
+    }
+  } else if (command == "budget") {
+    if (args.size() != 2) {
+      out = "err usage: budget <name>";
+      return reply;
+    }
+    const auto budget = server.Budget(args[1]);
+    if (!budget.ok()) {
+      out = "err " + budget.status().ToString();
+      return reply;
+    }
+    out = BudgetResponse(*budget);
+  } else if (command == "stats") {
+    if (args.size() == 1) {
+      const auto names = server.GraphNames();
+      const auto cache = server.family_cache_stats();
+      Appendf(&out,
+              "ok graphs=%zu cache_entries=%d cache_warming=%d "
+              "cache_bytes=%zu cache_cap=%zu cache_hits=%lld "
+              "cache_misses=%lld cache_evictions=%lld",
+              names.size(), cache.entries, cache.warming, cache.bytes,
+              cache.byte_cap, cache.hits, cache.misses, cache.evictions);
+    } else if (args.size() == 2) {
+      const auto stats = server.Stats(args[1]);
+      if (!stats.ok()) {
+        out = "err " + stats.status().ToString();
+        return reply;
+      }
+      Appendf(&out,
+              "ok n=%d m=%d memory_bytes=%zu warmed=%d family_bytes=%zu "
+              "answered=%lld failed=%lld spent=%.6g remaining=%.6g "
+              "lp_evals=%d fast_certs=%d cache_hits=%d",
+              stats->num_vertices, stats->num_edges,
+              stats->graph_memory_bytes, stats->family_warmed ? 1 : 0,
+              stats->family_memory_bytes, stats->queries_answered,
+              stats->queries_failed, stats->budget.spent,
+              stats->budget.remaining, stats->family.lp_evaluations,
+              stats->family.fast_certificates, stats->family.cache_hits);
+    } else {
+      out = "err usage: stats [<name>]";
+    }
+  } else if (command == "evict") {
+    if (args.size() != 2) {
+      out = "err usage: evict <name>";
+      return reply;
+    }
+    const Status evicted = server.Evict(args[1]);
+    if (!evicted.ok()) {
+      out = "err " + evicted.ToString();
+      return reply;
+    }
+    Appendf(&out, "ok evicted %s", args[1].c_str());
+  } else {
+    out = "err unknown command '" + command + "'";
+  }
+  return reply;
+}
+
+}  // namespace nodedp

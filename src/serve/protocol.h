@@ -1,0 +1,42 @@
+// The serve line protocol (docs/SERVING.md): one request line in, one
+// response line out — `ok ...` on success, `err <Status>` on failure.
+//
+// This is the single dispatcher behind every transport: serve_cli's stdin
+// loop and every socket_server connection route their lines through
+// HandleRequestLine, so the two modes cannot drift and the parser can be
+// tested (and fuzzed) without a socket in sight. The handler itself is
+// stateless — all state lives in the ReleaseServer — and therefore safe to
+// call concurrently from any number of connection threads.
+//
+// Parse isolation: a malformed request produces an `err ...` response and
+// *nothing else* — no registry change, no ledger charge. Only requests
+// that parse completely ever reach ReleaseServer::Admit. Transport-level
+// defenses (line length caps, partial-line reassembly, disconnect
+// handling) live in the transport; by the time a line reaches this
+// function it is exactly one complete request.
+
+#ifndef NODEDP_SERVE_PROTOCOL_H_
+#define NODEDP_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/release_server.h"
+
+namespace nodedp {
+
+struct ProtocolReply {
+  // The response line, without a trailing newline. Empty for blank and
+  // comment (#...) request lines, which produce no response at all.
+  std::string response;
+  // True when the client asked to end the session (`quit`): the transport
+  // should send the response and close this session/connection.
+  bool quit = false;
+};
+
+// Parses and executes one request line against `server`.
+ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line);
+
+}  // namespace nodedp
+
+#endif  // NODEDP_SERVE_PROTOCOL_H_

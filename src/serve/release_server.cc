@@ -1,6 +1,7 @@
 #include "serve/release_server.h"
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -20,6 +21,22 @@ std::string FormatEpsilon(double epsilon) {
 
 }  // namespace
 
+Status ReleaseServer::EnableDurableLedgers(const std::string& dir,
+                                           const LedgerWal::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!registry_.empty()) {
+    return Status::InvalidArgument(
+        "durable ledgers must be enabled before any graph is loaded");
+  }
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("durable ledgers are already enabled");
+  }
+  Result<std::unique_ptr<LedgerWal>> wal = LedgerWal::Open(dir, options);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  return Status::OK();
+}
+
 Status ReleaseServer::Load(const std::string& name, Graph g,
                            const ServeGraphConfig& config) {
   if (name.empty()) {
@@ -38,8 +55,31 @@ Status ReleaseServer::Load(const std::string& name, Graph g,
     }
     cache_key = name + "#" + std::to_string(next_load_id_++);
   }
+  // Durable-ledger adoption: a name with restored state keeps its original
+  // budget promise — the restored total (never the config's: a reload must
+  // not mint fresh budget for the same data), its spent charges in
+  // admission order, and its refusal count. A fresh name's registration is
+  // recorded before it can admit any charge.
+  std::optional<PersistedLedger> restored;
+  ServeGraphConfig effective = config;
+  if (wal_ != nullptr) {
+    restored = wal_->Restored(name);
+    if (restored.has_value()) {
+      effective.total_epsilon = restored->total_epsilon;
+    } else {
+      Status recorded = wal_->RecordLoad(name, config.total_epsilon);
+      if (!recorded.ok()) return recorded;
+    }
+  }
   auto entry =
-      std::make_shared<Entry>(std::move(g), config, std::move(cache_key));
+      std::make_shared<Entry>(std::move(g), effective, std::move(cache_key));
+  if (restored.has_value()) {
+    for (const auto& [label, epsilon] : restored->charges) {
+      Status replayed = entry->ledger.RestoreCharge(epsilon, label);
+      if (!replayed.ok()) return replayed;
+    }
+    entry->ledger.SetRefusals(restored->num_refusals);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     const bool inserted = registry_.emplace(name, entry).second;
@@ -70,10 +110,21 @@ Status ReleaseServer::Load(const std::string& name, Graph g,
         }
       }
       if (!keep) {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = registry_.find(name);
-        if (it != registry_.end() && it->second == entry) registry_.erase(it);
-        families_.Evict(entry->cache_key);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = registry_.find(name);
+          if (it != registry_.end() && it->second == entry) {
+            registry_.erase(it);
+          }
+          families_.Evict(entry->cache_key);
+        }
+        // A fresh registration's durable record is rolled back with it
+        // (nothing was charged), so a retried load can pick a new budget.
+        // A *restored* ledger is never discarded here: the original
+        // promise outlives a failed re-load.
+        if (wal_ != nullptr && !restored.has_value()) {
+          (void)wal_->RecordEvict(name);
+        }
       }
       return family.status();
     }
@@ -111,6 +162,15 @@ Status ReleaseServer::Evict(const std::string& name) {
     registry_.erase(it);
   }
   families_.Evict(cache_key);
+  if (wal_ != nullptr) {
+    // Eviction is the operator action that ends this name's durable
+    // ledger; a later load starts a fresh budget. If the record cannot be
+    // made durable the in-memory eviction stands and the error surfaces —
+    // the stale durable state only re-imposes the *old* budget on a
+    // reload, which errs in the conservative direction.
+    Status recorded = wal_->RecordEvict(name);
+    if (!recorded.ok()) return recorded;
+  }
   return Status::OK();
 }
 
@@ -168,8 +228,31 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
       // and now; refuse before charging the discarded ledger.
       return Status::NotFound("graph '" + name + "' was unloaded");
     }
-    Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
-    if (!charged.ok()) return charged;
+    if (wal_ == nullptr) {
+      Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
+      if (!charged.ok()) return charged;
+    } else if (!(epsilon_total > 0.0) ||
+               !entry.ledger.CanCharge(epsilon_total)) {
+      // Refused (or invalid) admissions never touch the durable charge
+      // log; the refusal record is telemetry — keeping restored refusal
+      // counts exact — and an I/O failure there must not change the
+      // refusal the client sees.
+      Status refused = entry.ledger.TryCharge(epsilon_total, std::move(label));
+      if (refused.code() == StatusCode::kResourceExhausted) {
+        (void)wal_->RecordRefusal(name);
+      }
+      return refused;
+    } else {
+      // The write-ahead rule: admission decided above, the durable record
+      // lands here, the in-memory charge follows, and only then does any
+      // mechanism run. A crash at any point between record and release
+      // wastes budget; it never leaks it. An unrecordable charge refuses
+      // the query with nothing spent on either side.
+      Status recorded = wal_->RecordCharge(name, epsilon_total, label);
+      if (!recorded.ok()) return recorded;
+      Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
+      if (!charged.ok()) return charged;  // unreachable: CanCharge held
+    }
     // Split atomically with the charge (entry.mu -> mu_, per the lock
     // order), so the k-th ledger entry always carries the k-th stream.
     admitted.child = SplitRng();

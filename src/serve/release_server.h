@@ -49,6 +49,7 @@
 #include "core/private_cc.h"
 #include "serve/budget_ledger.h"
 #include "serve/family_cache.h"
+#include "serve/ledger_wal.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -95,6 +96,25 @@ class ReleaseServer {
 
   ReleaseServer(const ReleaseServer&) = delete;
   ReleaseServer& operator=(const ReleaseServer&) = delete;
+
+  // Attaches a durable ledger store (serve/ledger_wal.h) rooted at `dir`,
+  // creating it if needed and replaying any existing snapshot + WAL. From
+  // then on every admission is appended to the log *before* the in-memory
+  // charge is made and the mechanism runs, so a restart from the same
+  // store restores every graph's ledger — charges in admission order,
+  // totals bit-identical — and a query refused over-budget before a crash
+  // stays refused after it. A graph `Load`ed under a name with restored
+  // state adopts the restored ledger wholesale: its original
+  // total_epsilon (the config's total is ignored — a reload must never
+  // mint fresh budget for the same data), its spent charges, and its
+  // refusal count. `Evict` is the one operator action that ends a name's
+  // durable ledger; a later load of that name starts a fresh budget.
+  //
+  // Must be called before the first Load (fails with InvalidArgument once
+  // graphs are registered); fails with IoError if the store cannot be
+  // opened or replayed.
+  Status EnableDurableLedgers(const std::string& dir,
+                              const LedgerWal::Options& options = {});
 
   // Registers `g` under `name`. Fails with InvalidArgument if the name is
   // empty, already registered, or the config is invalid; with the family
@@ -224,6 +244,10 @@ class ReleaseServer {
   FamilyCache families_;
   Rng rng_;
   long long next_load_id_ = 0;
+  // Durable ledger store; set once by EnableDurableLedgers before any
+  // Load, read-only afterwards (LedgerWal is internally synchronized and
+  // its mutex is a leaf: taken after entry.mu / mu_, holding neither).
+  std::unique_ptr<LedgerWal> wal_;
 };
 
 }  // namespace nodedp

@@ -1,0 +1,74 @@
+// SocketClient: a small blocking line-protocol client for the socket
+// front end — the test/bench/CLI counterpart of serve/socket_server.h.
+//
+// One request, one response: Request() sends a line and blocks for the
+// reply. ReadLine() reassembles responses from however the kernel chunks
+// them; SendRaw() writes arbitrary bytes without framing, which the
+// protocol-robustness tests use to simulate partial writes, oversized
+// lines, and binary garbage.
+
+#ifndef NODEDP_SERVE_SOCKET_CLIENT_H_
+#define NODEDP_SERVE_SOCKET_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace nodedp {
+
+class SocketClient {
+ public:
+  // Connects to host:port (host is a dotted-quad IPv4 address, e.g.
+  // "127.0.0.1"). `timeout_ms` bounds reads and writes; <= 0 blocks
+  // forever.
+  static Result<SocketClient> Connect(const std::string& host, int port,
+                                      int timeout_ms = 10000);
+
+  SocketClient() = default;
+  ~SocketClient() { Close(); }
+
+  SocketClient(SocketClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+    buffer_ = std::move(other.buffer_);
+  }
+  SocketClient& operator=(SocketClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+  }
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends `line` plus the newline terminator.
+  Status SendLine(const std::string& line);
+
+  // Sends exactly `size` bytes, no framing added.
+  Status SendRaw(const void* data, std::size_t size);
+
+  // Blocks for the next newline-terminated response (returned without the
+  // newline). IoError on timeout, disconnect, or reset.
+  Result<std::string> ReadLine();
+
+  // SendLine + ReadLine.
+  Result<std::string> Request(const std::string& line);
+
+  void Close();
+
+ private:
+  explicit SocketClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_SERVE_SOCKET_CLIENT_H_

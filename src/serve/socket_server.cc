@@ -1,0 +1,277 @@
+#include "serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace nodedp {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Sends all of `data`, retrying short writes. MSG_NOSIGNAL turns a closed
+// peer into an error instead of SIGPIPE; the socket's SO_SNDTIMEO bounds
+// how long a slow reader can stall us (backpressure).
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout (EAGAIN under SO_SNDTIMEO), reset, ...
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  return SendAll(fd, framed.data(), framed.size());
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ReleaseServer* server,
+                           const SocketServerOptions& options)
+    : server_(server), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (started_) return Status::InvalidArgument("socket server already started");
+  if (options_.max_connections < 1 || options_.listen_backlog < 1) {
+    return Status::InvalidArgument(
+        "max_connections and listen_backlog must be >= 1");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError(ErrnoMessage("socket"));
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(options_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IoError(
+        ErrnoMessage("bind port " + std::to_string(options_.port)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    Status status = Status::IoError(ErrnoMessage("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status status = Status::IoError(ErrnoMessage("getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  // Self-pipe so Stop() can wake the accept loop out of poll() reliably.
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+    Status status = Status::IoError(ErrnoMessage("pipe2"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  started_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  long long next_id = 0;
+  for (;;) {
+    // Bounded admission: hold accepts while every handler slot is busy;
+    // excess clients queue in the kernel backlog.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      slot_free_.wait(lock, [this] {
+        return stopping_ || stats_.active < options_.max_connections;
+      });
+      if (stopping_) return;
+      ReapFinishedLocked();
+    }
+
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_rd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed or broken
+    }
+
+    // Request/response over a line protocol: never batch tiny writes.
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    if (options_.write_timeout_ms > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.write_timeout_ms / 1000;
+      timeout.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    const long long id = next_id++;
+    conn_fds_[id] = fd;
+    ++stats_.accepted;
+    ++stats_.active;
+    handlers_.emplace(id, std::thread([this, id, fd] {
+                        HandleConnection(id, fd);
+                      }));
+  }
+}
+
+void SocketServer::HandleConnection(long long id, int fd) {
+  std::string pending;
+  char buffer[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // reset, or shutdown() from Stop()
+    }
+    if (n == 0) break;  // peer closed; any partial line is abandoned
+    pending.append(buffer, static_cast<std::size_t>(n));
+
+    std::size_t newline;
+    while (open && (newline = pending.find('\n')) != std::string::npos) {
+      const std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (line.size() > options_.max_line_bytes) {
+        (void)SendLine(fd, "err line too long");
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.dropped_overflow;
+        open = false;
+        break;
+      }
+      ProtocolReply reply = HandleRequestLine(*server_, line);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.lines;
+      }
+      if (!reply.response.empty() && !SendLine(fd, reply.response)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.dropped_write;
+        open = false;
+        break;
+      }
+      if (reply.quit) open = false;
+    }
+    // Parse isolation: bytes that never yield a newline cannot grow
+    // without bound.
+    if (open && pending.size() > options_.max_line_bytes) {
+      (void)SendLine(fd, "err line too long");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.dropped_overflow;
+      open = false;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(id);
+  --stats_.active;
+  finished_.push_back(id);
+  slot_free_.notify_all();
+}
+
+void SocketServer::ReapFinishedLocked() {
+  for (long long id : finished_) {
+    auto it = handlers_.find(id);
+    if (it == handlers_.end()) continue;  // Stop() already took it
+    it->second.join();
+    handlers_.erase(it);
+  }
+  finished_.clear();
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    slot_free_.notify_all();
+  }
+  // Wake the accept loop whether it is waiting in poll() or on the slot
+  // condvar, then join it before touching the listener.
+  const char byte = 'x';
+  (void)!::write(wake_wr_, &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+
+  // Shut down live connections (wakes their blocked recv), then join every
+  // handler. Handlers erase their own conn_fds_ entry on the way out.
+  std::map<long long, std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers = std::move(handlers_);
+    handlers_.clear();
+    finished_.clear();
+  }
+  for (auto& [id, thread] : handlers) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+SocketServer::Stats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace nodedp

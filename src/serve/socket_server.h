@@ -1,0 +1,132 @@
+// SocketServer: the TCP front end of the release server.
+//
+// serve_cli's stdin loop serves exactly one operator; a deployment needs
+// concurrent clients over a real transport. SocketServer listens on a TCP
+// port and speaks the docs/SERVING.md line protocol — one request line in,
+// one response line out, every line routed through serve/protocol.h's
+// HandleRequestLine against one shared ReleaseServer (whose entry points
+// are all thread-safe; heavy query work already rides the util/parallel.h
+// pool inside it).
+//
+// Connection lifecycle (the buffered-connection shape of streaming-CC
+// worker clusters): one accept thread owns the listener; each accepted
+// connection gets a dedicated handler thread that blocks on reads,
+// reassembles lines from partial writes, dispatches, and replies. Handler
+// threads are deliberately *not* parked on the util/parallel.h pool — that
+// pool is a fixed-width loop executor, and a blocking read would starve
+// every ParallelFor in the process. The pool still does all the actual
+// mechanism work, via ReleaseServer; handler threads only block on I/O.
+//
+// Bounded admission: at most `max_connections` handlers run at once — the
+// accept thread stops accepting at the cap, leaving excess clients in the
+// kernel's listen backlog (itself bounded by `listen_backlog`), so a
+// connection flood degrades to queueing, never to unbounded threads.
+//
+// Per-connection parse isolation: a malformed line costs only its own
+// connection. Requests that fail to parse produce `err ...` replies and
+// touch no server state (protocol.h's contract); a line longer than
+// `max_line_bytes` — or bytes that never produce a newline — drop that
+// connection after a best-effort `err line too long` reply; a premature
+// disconnect abandons any partial line unprocessed. Other connections
+// never notice.
+//
+// Write backpressure: sockets are written with a send timeout of
+// `write_timeout_ms`. A reader too slow to drain its own responses
+// (sweeps can be wide) stalls only its own connection and is dropped when
+// the timeout expires, bounding the memory a slow client can pin.
+//
+// Stop() (also the destructor) closes the listener, shuts down every live
+// connection, and joins all threads; it is safe to call while clients are
+// mid-request — in-flight requests finish, their replies may be lost.
+
+#ifndef NODEDP_SERVE_SOCKET_SERVER_H_
+#define NODEDP_SERVE_SOCKET_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/release_server.h"
+#include "util/status.h"
+
+namespace nodedp {
+
+struct SocketServerOptions {
+  // Port to bind; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  // Bind loopback only by default; set true to serve external clients.
+  bool bind_any = false;
+  // Concurrent connection handlers; excess clients wait in the kernel
+  // backlog below.
+  int max_connections = 64;
+  // Kernel listen(2) backlog: the bounded accept queue.
+  int listen_backlog = 64;
+  // A request line longer than this drops its connection (parse
+  // isolation; no legitimate request is remotely this long).
+  std::size_t max_line_bytes = 1 << 16;
+  // Send timeout per write: the backpressure bound on slow readers.
+  // <= 0 means block forever (not recommended outside tests).
+  int write_timeout_ms = 10000;
+};
+
+class SocketServer {
+ public:
+  // Counters are cumulative since Start().
+  struct Stats {
+    long long accepted = 0;         // connections handed to a handler
+    long long active = 0;           // handlers currently running
+    long long lines = 0;            // request lines dispatched
+    long long dropped_overflow = 0;  // connections dropped for line length
+    long long dropped_write = 0;     // dropped on write timeout/error
+  };
+
+  // `server` must outlive this object.
+  SocketServer(ReleaseServer* server, const SocketServerOptions& options = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. Fails with IoError if
+  // the socket cannot be set up; InvalidArgument on a second Start.
+  Status Start();
+
+  // Idempotent; see class comment.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(long long id, int fd);
+  // Removes finished handler threads (called from the accept loop).
+  void ReapFinishedLocked();
+
+  ReleaseServer* const server_;
+  const SocketServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  // self-pipe: Stop() wakes the accept loop's poll()
+  int wake_wr_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;   // signaled when a handler exits
+  std::map<long long, std::thread> handlers_;  // live + finished, by id
+  std::vector<long long> finished_;     // handler ids ready to join
+  std::map<long long, int> conn_fds_;   // live connection fds, by id
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_SERVE_SOCKET_SERVER_H_
