@@ -3,12 +3,23 @@
 
 Prints a per-benchmark table of baseline vs current real_ns with the
 relative delta, so the perf trajectory across revisions is visible in CI
-logs. Benchmarks present in only one file are listed separately.
+logs. Records are keyed strictly by (suite, record name) — two suites may
+reuse a record name without colliding, and a file that repeats a name
+within one suite is malformed and rejected outright (a silent
+last-one-wins would make the comparison lie about whichever record was
+shadowed).
+
+Benchmarks present in only one side are never an error: a record new in
+the current run has no baseline to regress against, so it is reported as
+"new record (no baseline): skipped" and ignored by --strict. Refresh the
+baseline to start gating it.
 
 Exit status: 0 unless --strict is given, in which case any benchmark whose
 real_ns grew by more than --threshold (default 1.25, i.e. +25%) fails the
-run. CI's smoke timings are noisy by design, so the CI step runs without
---strict and uses the output purely as a trend line.
+run. CI's smoke timings are noisy by design, so the bench-smoke step runs
+without --strict as a trend line; the bench-regression gate runs --strict
+with a deliberately loose threshold to catch only catastrophic
+regressions.
 
 A missing baseline file is not an error: the first run of a new suite (or
 a fresh checkout without bench/baselines/) has nothing to compare against,
@@ -30,14 +41,27 @@ def load_report(path):
     schema = doc.get("schema")
     if schema != "nodedp-bench-v1":
         raise SystemExit(f"{path}: unsupported schema {schema!r}")
+    suite = doc.get("suite")
+    if not isinstance(suite, str) or not suite:
+        raise SystemExit(f"{path}: missing suite name")
     benches = {}
     for record in doc.get("benchmarks", []):
         name = record.get("name")
         real_ns = record.get("real_ns")
         if name is None or not isinstance(real_ns, (int, float)):
             continue
-        benches[name] = float(real_ns)
+        key = (suite, name)
+        if key in benches:
+            raise SystemExit(
+                f"{path}: duplicate record {name!r} in suite {suite!r} — "
+                f"each (suite, name) pair must be unique within a file")
+        benches[key] = float(real_ns)
     return doc, benches
+
+
+def format_key(key):
+    suite, name = key
+    return f"{suite}:{name}"
 
 
 def format_ns(ns):
@@ -78,40 +102,42 @@ def main():
           f"threads {cur_doc.get('threads')})")
     print()
 
-    shared = [name for name in cur if name in base]
-    only_base = sorted(name for name in base if name not in cur)
-    only_cur = sorted(name for name in cur if name not in base)
+    shared = [key for key in cur if key in base]
+    only_base = sorted(key for key in base if key not in cur)
+    only_cur = sorted(key for key in cur if key not in base)
 
     regressions = []
     if shared:
-        width = max(len(name) for name in shared)
+        width = max(len(format_key(key)) for key in shared)
         header = (f"{'benchmark':<{width}}  {'baseline':>10}  "
                   f"{'current':>10}  {'delta':>8}")
         print(header)
         print("-" * len(header))
-        for name in shared:
-            ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        for key in shared:
+            ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
             delta = (ratio - 1.0) * 100.0
             flag = ""
             if ratio > args.threshold:
                 flag = "  << REGRESSION"
-                regressions.append((name, ratio))
-            print(f"{name:<{width}}  {format_ns(base[name]):>10}  "
-                  f"{format_ns(cur[name]):>10}  {delta:>+7.1f}%{flag}")
+                regressions.append((key, ratio))
+            print(f"{format_key(key):<{width}}  {format_ns(base[key]):>10}  "
+                  f"{format_ns(cur[key]):>10}  {delta:>+7.1f}%{flag}")
     else:
         print("no benchmarks in common")
 
-    for name in only_base:
-        print(f"removed: {name} ({format_ns(base[name])})")
-    for name in only_cur:
-        print(f"added:   {name} ({format_ns(cur[name])})")
+    for key in only_base:
+        print(f"removed: {format_key(key)} ({format_ns(base[key])}) — "
+              f"not in current run, not gated")
+    for key in only_cur:
+        print(f"new record (no baseline): skipped {format_key(key)} "
+              f"({format_ns(cur[key])}) — refresh the baseline to gate it")
 
     print()
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed past "
               f"{args.threshold:.2f}x:")
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x")
+        for key, ratio in regressions:
+            print(f"  {format_key(key)}: {ratio:.2f}x")
         if args.strict:
             return 1
         print("(informational: smoke timings are noisy; rerun locally with "

@@ -31,6 +31,7 @@
 //   release_cc <name> <epsilon>                 one ε-node-private release
 //   release_sf <name> <epsilon>
 //   sweep <name> <eps1> <eps2> ...              Σ εᵢ charged all-or-nothing
+//   add_edges <name> <u1> <v1> [<u2> <v2> ...]  insert edges (no ε charge)
 //   budget <name>   stats [<name>]   evict <name>   quit
 //
 // Environment: NODEDP_FAMILY_CACHE_BYTES caps total resident family

@@ -54,6 +54,139 @@ ExtensionFamily::ExtensionFamily(const Graph& g,
   InitComponents(g, /*retain_host=*/true);
 }
 
+ExtensionFamily::ExtensionFamily(const Graph& graph,
+                                 const ExtensionFamily& base,
+                                 const std::vector<Edge>& inserts)
+    : num_vertices_(graph.NumVertices()), options_(base.options_) {
+  NODEDP_CHECK_EQ(num_vertices_, base.num_vertices_);
+  if (!options_.decompose_components) {
+    // The whole-graph pseudo-component has no per-component state to
+    // carve up; any insert invalidates it. Build cold.
+    InitComponents(graph, /*retain_host=*/false);
+    components_invalidated_ = static_cast<int>(components_.size());
+    return;
+  }
+
+  // Reconstruct a dense labeling of the OLD partition from base's vertex
+  // lists: kept component i keeps label i, every remaining vertex is its
+  // own singleton label. No graph traversal — the partition is the data.
+  const int num_kept = static_cast<int>(base.components_.size());
+  std::vector<int> labels(static_cast<std::size_t>(num_vertices_), -1);
+  for (int c = 0; c < num_kept; ++c) {
+    for (int v : base.components_[static_cast<std::size_t>(c)]->vertices) {
+      labels[static_cast<std::size_t>(v)] = c;
+    }
+  }
+  std::vector<int> singleton_vertex;  // label - num_kept -> vertex id
+  for (int v = 0; v < num_vertices_; ++v) {
+    if (labels[static_cast<std::size_t>(v)] < 0) {
+      labels[static_cast<std::size_t>(v)] =
+          num_kept + static_cast<int>(singleton_vertex.size());
+      singleton_vertex.push_back(v);
+    }
+  }
+  const int num_old =
+      num_kept + static_cast<int>(singleton_vertex.size());
+
+  const ComponentDeltaAnalysis delta =
+      AnalyzeEdgeDelta(labels, num_old, inserts);
+  std::vector<bool> touched(static_cast<std::size_t>(num_old), false);
+  for (int label : delta.touched) {
+    touched[static_cast<std::size_t>(label)] = true;
+  }
+
+  // New partition = adopted old components + one rebuilt component per
+  // fused group, ordered (like ComponentLabels) by smallest vertex so the
+  // per-Δ totals sum in the same order as a cold rebuild — bit-identical
+  // floating-point results, not merely equal sets.
+  struct Pending {
+    int min_vertex;
+    std::unique_ptr<ComponentState> state;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(base.components_.size() + delta.groups.size());
+  int to_induce = 0;
+  {
+    // Base may be serving queries or warming concurrently: its cache,
+    // watermark, fast-path floor, and cut pool mutate only under its
+    // mutex, so one lock makes the whole adoption a consistent snapshot.
+    std::lock_guard<std::mutex> base_lock(base.mu_);
+    for (int c = 0; c < num_kept; ++c) {
+      if (touched[static_cast<std::size_t>(c)]) continue;
+      const ComponentState& from =
+          *base.components_[static_cast<std::size_t>(c)];
+      auto state = std::make_unique<ComponentState>();
+      state->vertices = from.vertices;
+      state->f_sf = from.f_sf;
+      state->exact_from = from.exact_from;
+      state->fast_path_failed_at = from.fast_path_failed_at;
+      state->cut_pool = from.cut_pool;
+      state->cached = from.cached;
+      if (from.induced.load(std::memory_order_acquire)) {
+        // The untouched component's induced subgraph is identical in the
+        // new host (same vertex set, same edges, same relabeling).
+        state->graph = from.graph;
+        state->induced.store(true, std::memory_order_release);
+      } else {
+        // Base had not induced it yet (mid-warm adoption): leave it lazy;
+        // inducing from the new host yields the identical graph.
+        ++to_induce;
+      }
+      ++components_adopted_;
+      pending.push_back(Pending{state->vertices[0], std::move(state)});
+    }
+  }
+  for (const std::vector<int>& group : delta.groups) {
+    // One rebuilt component per fused group: merge the members' sorted
+    // vertex lists (kept components + absorbed singletons). Connected by
+    // construction — each member was connected and the batch's edges are
+    // what fused them — so f_sf = |C| - 1 holds, and EnsureInduced
+    // re-derives it in Debug builds.
+    auto state = std::make_unique<ComponentState>();
+    std::size_t size = 0;
+    for (int label : group) {
+      size += label < num_kept
+                  ? base.components_[static_cast<std::size_t>(label)]
+                        ->vertices.size()
+                  : 1;
+    }
+    state->vertices.reserve(size);
+    for (int label : group) {
+      if (label < num_kept) {
+        const std::vector<int>& members =
+            base.components_[static_cast<std::size_t>(label)]->vertices;
+        state->vertices.insert(state->vertices.end(), members.begin(),
+                               members.end());
+      } else {
+        state->vertices.push_back(
+            singleton_vertex[static_cast<std::size_t>(label - num_kept)]);
+      }
+    }
+    std::sort(state->vertices.begin(), state->vertices.end());
+    state->f_sf = static_cast<double>(state->vertices.size()) - 1.0;
+    ++components_invalidated_;
+    ++to_induce;
+    pending.push_back(Pending{state->vertices[0], std::move(state)});
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.min_vertex < b.min_vertex;
+            });
+  components_.reserve(pending.size());
+  f_sf_total_ = 0.0;
+  for (Pending& p : pending) {
+    f_sf_total_ += p.state->f_sf;
+    components_.push_back(std::move(p.state));
+  }
+  NODEDP_DCHECK(static_cast<int>(f_sf_total_) == SpanningForestSize(graph));
+
+  remaining_inductions_.store(to_induce, std::memory_order_relaxed);
+  if (to_induce > 0) {
+    host_graph_ = graph;
+    host_released_ = false;
+  }
+}
+
 ExtensionFamily::~ExtensionFamily() {
   if (warm_thread_.joinable()) warm_thread_.join();
 }

@@ -78,6 +78,25 @@ class ExtensionFamily {
   ExtensionFamily(const Graph& g, const ExtensionOptions& options,
                   DeferInduction);
 
+  // Incremental (streaming-update) constructor: builds the family for
+  // `graph`, which MUST be `base`'s graph with exactly `inserts` applied —
+  // normalized u < v edges that are actually new, i.e. the `added` list of
+  // Graph::ApplyEdgeDelta. Components the batch does not touch adopt
+  // base's state wholesale (induced subgraph, value cache, monotone
+  // watermark, cut pool): an insert-only delta never changes an untouched
+  // component's vertex or edge set, so the adopted cells stay exact.
+  // Components the batch merges or edits are rebuilt cold, with lazy
+  // induction from `graph` — a following Warm(grid) therefore re-solves
+  // exactly the invalidated (component, Δ) cells and hits cache on every
+  // adopted one, and queries arriving mid-re-warm block only on
+  // invalidated cells through the usual in-flight registry. `base` may be
+  // serving queries or warming concurrently: its mutable state is copied
+  // under its lock; cells still in flight there are simply not adopted and
+  // re-solve here to the same values. Values()/Warm() results are
+  // bit-identical to a cold rebuild on `graph`.
+  ExtensionFamily(const Graph& graph, const ExtensionFamily& base,
+                  const std::vector<Edge>& inserts);
+
   // Joins an in-flight WarmAsync() thread, if any.
   ~ExtensionFamily();
 
@@ -131,6 +150,15 @@ class ExtensionFamily {
 
   int num_vertices() const { return num_vertices_; }
   const ExtensionOptions& options() const { return options_; }
+
+  // Non-singleton components in the partition (fixed at construction).
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+  // Incremental-constructor telemetry: components adopted from the base
+  // family vs rebuilt because the delta touched them. Both zero for
+  // cold-built families.
+  int components_adopted() const { return components_adopted_; }
+  int components_invalidated() const { return components_invalidated_; }
 
   // Heap footprint: component graphs (plus the host-graph copy while lazy
   // induction still needs it), partition vertex lists, cut pools, and the
@@ -236,6 +264,8 @@ class ExtensionFamily {
   int num_vertices_ = 0;
   double f_sf_total_ = 0.0;
   ExtensionOptions options_;
+  int components_adopted_ = 0;
+  int components_invalidated_ = 0;
 
   // Lazy-induction support: the host graph retained until every component
   // has been induced, and the countdown that tells us when that is.

@@ -71,6 +71,42 @@ bool SameComponent(const Graph& g, int u, int v) {
   return uf.Connected(u, v);
 }
 
+ComponentDeltaAnalysis AnalyzeEdgeDelta(const std::vector<int>& old_labels,
+                                        int num_old_components,
+                                        const std::vector<Edge>& inserts) {
+  ComponentDeltaAnalysis analysis;
+  analysis.num_old_components = num_old_components;
+  UnionFind uf(num_old_components);
+  std::vector<bool> dirty(num_old_components, false);
+  int merges = 0;
+  for (const Edge& e : inserts) {
+    NODEDP_DCHECK(e.u >= 0 && e.u < static_cast<int>(old_labels.size()));
+    NODEDP_DCHECK(e.v >= 0 && e.v < static_cast<int>(old_labels.size()));
+    const int lu = old_labels[e.u];
+    const int lv = old_labels[e.v];
+    dirty[lu] = true;
+    dirty[lv] = true;
+    if (uf.Union(lu, lv)) ++merges;
+  }
+  analysis.num_new_components = num_old_components - merges;
+
+  // Bucket the touched labels by their fused root. Scanning labels in
+  // ascending order makes both the touched list and each group sorted, and
+  // ordering groups by first appearance orders them by smallest member.
+  std::vector<int> group_of(num_old_components, -1);
+  for (int label = 0; label < num_old_components; ++label) {
+    if (!dirty[label]) continue;
+    analysis.touched.push_back(label);
+    const int root = uf.Find(label);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<int>(analysis.groups.size());
+      analysis.groups.emplace_back();
+    }
+    analysis.groups[static_cast<std::size_t>(group_of[root])].push_back(label);
+  }
+  return analysis;
+}
+
 bool IsCutVertex(const Graph& g, int v) {
   NODEDP_CHECK_GE(v, 0);
   NODEDP_CHECK_LT(v, g.NumVertices());

@@ -35,6 +35,39 @@ bool SameComponent(const Graph& g, int u, int v);
 // its own component. Isolated vertices are not cut vertices.
 bool IsCutVertex(const Graph& g, int v);
 
+// Component-level effect of an insert-only edge delta on a partition.
+//
+// Inserts can only merge components (or add edges inside one), never split
+// them, so the new partition is fully described by which old components the
+// batch touches and how they fuse: every component with no endpoint in the
+// batch keeps its label, its vertex set, and its induced edge set — the
+// invariant the incremental ExtensionFamily maintenance is built on.
+struct ComponentDeltaAnalysis {
+  // Old labels with at least one endpoint in the batch, sorted ascending.
+  // This includes components receiving purely internal edges: their vertex
+  // set is unchanged but their induced edge set is not, so any cached
+  // structure over them is stale.
+  std::vector<int> touched;
+  // The fused groups, one per new component formed by the batch: each entry
+  // lists the old labels merged into it, sorted ascending. A group of size
+  // one is a component that only received internal edges. Groups are
+  // ordered by their smallest old label. Every touched label appears in
+  // exactly one group and vice versa.
+  std::vector<std::vector<int>> groups;
+  int num_old_components = 0;
+  int num_new_components = 0;
+};
+
+// Analyzes `inserts` (normalized u < v edges; endpoints must be labeled)
+// against an existing partition `old_labels` (as produced by
+// ComponentLabels, labels dense in [0, num_old_components)). Runs in
+// O(num_old_components + |inserts| * alpha) over a union-find on the
+// labels — the graph itself is never read, so a small delta against a huge
+// graph costs component-count work, not edge-count work.
+ComponentDeltaAnalysis AnalyzeEdgeDelta(const std::vector<int>& old_labels,
+                                        int num_old_components,
+                                        const std::vector<Edge>& inserts);
+
 }  // namespace nodedp
 
 #endif  // NODEDP_GRAPH_CONNECTIVITY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <string>
 
 #include "util/check.h"
@@ -101,6 +102,55 @@ int Graph::EdgeId(int u, int v) const {
   const int* it = std::lower_bound(first, last, target);
   if (it == last || *it != target) return -1;
   return csr_incident_[it - csr_neighbors_.data()];
+}
+
+Result<Graph::EdgeDelta> Graph::ApplyEdgeDelta(
+    const std::vector<std::pair<int, int>>& inserts) const {
+  // Validate the whole batch before touching anything: a data-plane update
+  // either applies completely or refuses completely.
+  std::vector<Edge> batch;
+  batch.reserve(inserts.size());
+  for (const auto& [a, b] : inserts) {
+    if (a == b) {
+      return Status::InvalidArgument("edge delta contains a self-loop at " +
+                                     std::to_string(a));
+    }
+    if (a < 0 || b < 0 || a >= num_vertices_ || b >= num_vertices_) {
+      return Status::InvalidArgument(
+          "edge delta endpoint out of range: (" + std::to_string(a) + ", " +
+          std::to_string(b) + ") on " + std::to_string(num_vertices_) +
+          " vertices");
+    }
+    batch.push_back(a < b ? Edge{a, b} : Edge{b, a});
+  }
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+
+  EdgeDelta delta;
+  delta.duplicates = static_cast<int>(inserts.size());
+  delta.added.reserve(batch.size());
+  for (const Edge& e : batch) {
+    if (!HasEdge(e.u, e.v)) delta.added.push_back(e);
+  }
+  delta.duplicates -= static_cast<int>(delta.added.size());
+  if (static_cast<std::int64_t>(edges_.size()) +
+          static_cast<std::int64_t>(delta.added.size()) >
+      kMaxEdges) {
+    return Status::InvalidArgument("edge delta would exceed the edge cap");
+  }
+  if (delta.added.empty()) {
+    // Pure-duplicate batch: the graph is unchanged; hand back a copy so
+    // callers can treat the result uniformly.
+    delta.graph = *this;
+    return delta;
+  }
+
+  std::vector<Edge> merged;
+  merged.reserve(edges_.size() + delta.added.size());
+  std::merge(edges_.begin(), edges_.end(), delta.added.begin(),
+             delta.added.end(), std::back_inserter(merged));
+  delta.graph = FromSortedEdges(num_vertices_, std::move(merged));
+  return delta;
 }
 
 std::size_t Graph::MemoryBytes() const {

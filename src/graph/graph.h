@@ -117,6 +117,22 @@ class Graph {
                            static_cast<std::size_t>(SliceLength(v)));
   }
 
+  // Result of ApplyEdgeDelta: the patched graph plus the normalized,
+  // sorted list of edges that were actually new. Defined after the class
+  // (it holds a Graph by value).
+  struct EdgeDelta;
+
+  // Streaming update path: returns a new graph with the insert batch
+  // merged in (this graph is unchanged — readers keep serving it).
+  // Endpoints are normalized; in-batch repeats and edges already present
+  // are counted in `duplicates` and otherwise ignored. Self-loops and
+  // out-of-range endpoints reject the whole batch with InvalidArgument —
+  // this is a data-plane entry point (serve/add_edges), so bad input must
+  // refuse, not CHECK. The merge is one pass over the two sorted edge
+  // lists plus the usual CSR build: O(n + m + |batch| log |batch|).
+  Result<EdgeDelta> ApplyEdgeDelta(
+      const std::vector<std::pair<int, int>>& inserts) const;
+
   // Heap footprint of this graph in bytes (edge list + CSR arrays,
   // capacity-based). Telemetry for the scale benches; not an allocator
   // measurement.
@@ -136,6 +152,15 @@ class Graph {
   std::vector<int> offsets_ = {0};
   std::vector<int> csr_neighbors_;
   std::vector<int> csr_incident_;
+};
+
+// `added` is what the incremental ExtensionFamily maintenance consumes —
+// duplicates of resident edges are filtered out so downstream delta
+// analysis never dirties a component over an edge that changed nothing.
+struct Graph::EdgeDelta {
+  Graph graph;
+  std::vector<Edge> added;
+  int duplicates = 0;  // inserts already present (or repeated in-batch)
 };
 
 // Incremental construction helper. Ignores duplicate edges.

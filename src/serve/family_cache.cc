@@ -92,6 +92,36 @@ std::shared_ptr<ExtensionFamily> FamilyCache::Get(
   return it->second->family;
 }
 
+void FamilyCache::Replace(const std::string& key,
+                          std::shared_ptr<ExtensionFamily> family) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A fresh Slot object, never a mutation of the resident one: any
+    // builder mid-warm on the old slot must fail its identity check, or it
+    // would promote this (possibly still re-warming) family to kReady.
+    auto slot = std::make_shared<Slot>();
+    slot->family = std::move(family);
+    slot->state = SlotState::kWarming;
+    slot->last_used = ++use_tick_;
+    slots_[key] = std::move(slot);
+    ++replacements_;
+  }
+  // Wake callers parked on a kBuilding slot for this key; they re-check
+  // and pick up the replacement.
+  slot_cv_.notify_all();
+}
+
+bool FamilyCache::Promote(const std::string& key,
+                          const std::shared_ptr<ExtensionFamily>& family) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second->family != family) return false;
+  it->second->state = SlotState::kReady;
+  it->second->last_used = ++use_tick_;
+  EnforceByteCapLocked(it->second);
+  return true;
+}
+
 void FamilyCache::Evict(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   // Dropping a kBuilding/kWarming slot is safe: the builder re-checks slot
@@ -149,6 +179,7 @@ FamilyCache::CacheStats FamilyCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.replacements = replacements_;
   s.byte_cap = byte_cap_;
   for (const auto& [key, slot] : slots_) {
     if (slot->state == SlotState::kBuilding) continue;

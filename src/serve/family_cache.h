@@ -63,6 +63,25 @@ class FamilyCache {
   // Never blocks behind a build or warm; does not count as an LRU use.
   std::shared_ptr<ExtensionFamily> Get(const std::string& key) const;
 
+  // Update-in-place slot transition for the streaming-update path:
+  // atomically installs an externally built `family` as the serving entry
+  // under `key`, replacing whatever was resident. The old family is not
+  // torn down — in-flight holders keep serving it until they finish; new
+  // lookups resolve to `family` immediately. The slot is installed as
+  // *warming* (the caller typically still has the incremental re-warm to
+  // run, and mid-re-warm queries must block only on invalidated cells):
+  // call Promote when the warm completes. A builder that was racing on the
+  // same key is neutralized by its slot-identity check — it hands its
+  // now-stale family to its own caller (a pre-update query, which the old
+  // graph answers correctly) without caching it.
+  void Replace(const std::string& key, std::shared_ptr<ExtensionFamily> family);
+
+  // Marks `key`'s slot fully warmed and enforces the byte cap, but only if
+  // the slot still holds `family` (a concurrent Replace or Evict wins
+  // otherwise). Returns whether it did.
+  bool Promote(const std::string& key,
+               const std::shared_ptr<ExtensionFamily>& family);
+
   // Drops the cache's reference; in-flight holders keep theirs.
   void Evict(const std::string& key);
 
@@ -76,6 +95,7 @@ class FamilyCache {
     long long hits = 0;
     long long misses = 0;
     long long evictions = 0;   // byte-cap LRU evictions (Evict() not counted)
+    long long replacements = 0;  // update-in-place swaps (Replace() calls)
     std::size_t bytes = 0;     // MemoryBytes over resident families
     std::size_t byte_cap = 0;  // 0 = unlimited
   };
@@ -107,6 +127,7 @@ class FamilyCache {
   long long hits_ = 0;
   long long misses_ = 0;
   long long evictions_ = 0;
+  long long replacements_ = 0;
   long long use_tick_ = 0;
 };
 

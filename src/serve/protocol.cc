@@ -229,6 +229,37 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
     for (std::size_t i = 0; i < releases->size(); ++i) {
       Appendf(&out, " %.6g:%.3f", epsilons[i], (*releases)[i].estimate);
     }
+  } else if (command == "add_edges") {
+    // Data operation, not a release: charges no budget. The server applies
+    // the batch atomically and incrementally re-warms only the components
+    // the batch touched (see ReleaseServer::UpdateGraph).
+    if (args.size() < 4 || args.size() % 2 != 0) {
+      out = "err usage: add_edges <name> <u1> <v1> [<u2> <v2> ...]";
+      return reply;
+    }
+    std::vector<std::pair<int, int>> inserts;
+    inserts.reserve((args.size() - 2) / 2);
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+      long long u = 0;
+      long long v = 0;
+      if (!ParseNonNegativeInt(args[i], &u) ||
+          !ParseNonNegativeInt(args[i + 1], &v) || u > 2147483647LL ||
+          v > 2147483647LL) {
+        out = "err add_edges: endpoints must be non-negative ints";
+        return reply;
+      }
+      inserts.emplace_back(static_cast<int>(u), static_cast<int>(v));
+    }
+    const auto updated = server.UpdateGraph(args[1], inserts);
+    if (!updated.ok()) {
+      out = "err " + updated.status().ToString();
+      return reply;
+    }
+    Appendf(&out,
+            "ok added=%d dup=%d m=%d invalidated=%d adopted=%d rewarmed=%d",
+            updated->edges_added, updated->duplicates, updated->num_edges,
+            updated->components_invalidated, updated->components_adopted,
+            updated->family_rewarmed ? 1 : 0);
   } else if (command == "budget") {
     if (args.size() != 2) {
       out = "err usage: budget <name>";

@@ -144,10 +144,12 @@ Status ReleaseServer::Save(const std::string& name, const std::string& path,
                            bool binary) const {
   Result<std::shared_ptr<Entry>> found = Find(name);
   if (!found.ok()) return found.status();
-  // The shared_ptr keeps the graph alive even if it is evicted mid-write.
-  const std::shared_ptr<Entry> entry = *found;
-  if (binary) return WriteGraphBinaryFile(entry->graph, path);
-  return WriteEdgeListFile(entry->graph, path);
+  // The snapshot keeps the graph alive even if it is evicted or updated
+  // mid-write (a save races an update to one or the other full graph,
+  // never a torn mix).
+  const std::shared_ptr<const Graph> graph = GraphSnapshot(**found);
+  if (binary) return WriteGraphBinaryFile(*graph, path);
+  return WriteEdgeListFile(*graph, path);
 }
 
 Status ReleaseServer::Evict(const std::string& name) {
@@ -174,6 +176,89 @@ Status ReleaseServer::Evict(const std::string& name) {
   return Status::OK();
 }
 
+Result<UpdateReport> ReleaseServer::UpdateGraph(
+    const std::string& name, const std::vector<std::pair<int, int>>& inserts) {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  const std::shared_ptr<Entry> entry = *found;
+  // One update at a time per graph, held across the incremental build and
+  // re-warm (outermost in the lock order; queries never take it, so they
+  // are not blocked).
+  std::lock_guard<std::mutex> update_lock(entry->update_mu);
+  std::shared_ptr<const Graph> old_graph;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->retired) {
+      return Status::NotFound("graph '" + name + "' was unloaded");
+    }
+    old_graph = entry->graph;
+  }
+
+  Result<Graph::EdgeDelta> delta = old_graph->ApplyEdgeDelta(inserts);
+  if (!delta.ok()) return delta.status();
+  UpdateReport report;
+  report.duplicates = delta->duplicates;
+  report.edges_added = static_cast<int>(delta->added.size());
+  report.num_edges = delta->graph.NumEdges();
+  if (delta->added.empty()) {
+    // Pure-duplicate batch: nothing changed; keep the graph, the family,
+    // and every solved cell.
+    return report;
+  }
+  const auto patched = std::make_shared<const Graph>(std::move(delta->graph));
+
+  // Patch the warmed family if one is resident (warmed or warming — a
+  // warming base is fine: cells it has not solved yet re-solve here). With
+  // no resident family there is nothing to maintain; the next query
+  // rebuilds cold from the patched graph.
+  const std::shared_ptr<ExtensionFamily> old_family =
+      families_.Get(entry->cache_key);
+  std::shared_ptr<ExtensionFamily> family;
+  if (old_family != nullptr) {
+    family = std::make_shared<ExtensionFamily>(*patched, *old_family,
+                                               delta->added);
+    report.components_adopted = family->components_adopted();
+    report.components_invalidated = family->components_invalidated();
+  }
+
+  // Publish-then-warm, mirroring Load's register-before-warm: the patched
+  // family and graph become visible first, so queries arriving mid-re-warm
+  // resolve the patched family and block only on the invalidated cells.
+  // Queries that resolved the old family before this point finish against
+  // it — their shared_ptr keeps it alive.
+  if (family != nullptr) families_.Replace(entry->cache_key, family);
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->graph = patched;
+  }
+
+  // Evict race: if the graph was unregistered between Find and the swap,
+  // the Replace above may have resurrected a slot Evict already dropped.
+  // Drop it again — cache keys are unique per load, so this can never hit
+  // a newer registration's family.
+  {
+    Result<std::shared_ptr<Entry>> current = Find(name);
+    if (!current.ok() || *current != entry) {
+      families_.Evict(entry->cache_key);
+      return Status::NotFound("graph '" + name + "' was unloaded");
+    }
+  }
+
+  if (family != nullptr) {
+    const Status warmed = family->Warm(WarmGrid(*patched, entry->config));
+    if (!warmed.ok()) {
+      // Drop the half-warmed slot so the next query rebuilds cold from the
+      // patched graph. The graph swap stands: the update itself succeeded
+      // and callers that saw the new edge count must keep seeing them.
+      families_.Evict(entry->cache_key);
+      return warmed;
+    }
+    families_.Promote(entry->cache_key, family);
+    report.family_rewarmed = true;
+  }
+  return report;
+}
+
 std::vector<std::string> ReleaseServer::GraphNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -192,9 +277,14 @@ Result<std::shared_ptr<ReleaseServer::Entry>> ReleaseServer::Find(
   return it->second;
 }
 
-std::vector<double> ReleaseServer::WarmGrid(const Entry& entry) {
-  return AlgorithmOneDeltaGrid(entry.graph.NumVertices(),
-                               entry.config.release);
+std::vector<double> ReleaseServer::WarmGrid(const Graph& graph,
+                                            const ServeGraphConfig& config) {
+  return AlgorithmOneDeltaGrid(graph.NumVertices(), config.release);
+}
+
+std::shared_ptr<const Graph> ReleaseServer::GraphSnapshot(Entry& entry) {
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  return entry.graph;
 }
 
 Result<std::shared_ptr<ExtensionFamily>> ReleaseServer::FamilyFor(
@@ -203,8 +293,11 @@ Result<std::shared_ptr<ExtensionFamily>> ReleaseServer::FamilyFor(
   // map lookup away): the entry never pins the family, so a byte-cap
   // eviction frees real memory and the next query rebuilds and re-warms.
   // The build+warm runs outside every server lock; FamilyCache serializes
-  // same-key builders and hands mid-warm callers the warming family.
-  return families_.GetOrCreate(entry.cache_key, entry.graph, WarmGrid(entry),
+  // same-key builders and hands mid-warm callers the warming family. The
+  // snapshot pins the graph across the build in case an update swaps it.
+  const std::shared_ptr<const Graph> graph = GraphSnapshot(entry);
+  return families_.GetOrCreate(entry.cache_key, *graph,
+                               WarmGrid(*graph, entry.config),
                                entry.config.release.extension);
 }
 
@@ -362,9 +455,9 @@ Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
       families_.Get(entry.cache_key);
   std::lock_guard<std::mutex> entry_lock(entry.mu);
   ServeGraphStats stats;
-  stats.num_vertices = entry.graph.NumVertices();
-  stats.num_edges = entry.graph.NumEdges();
-  stats.graph_memory_bytes = entry.graph.MemoryBytes();
+  stats.num_vertices = entry.graph->NumVertices();
+  stats.num_edges = entry.graph->NumEdges();
+  stats.graph_memory_bytes = entry.graph->MemoryBytes();
   stats.family_warmed = family != nullptr;
   stats.queries_answered = entry.queries_answered;
   stats.queries_failed = entry.queries_failed;

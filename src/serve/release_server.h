@@ -21,12 +21,14 @@
 //
 // Concurrency: all entry points are safe to call from multiple threads.
 // The registry map and the server Rng sit behind one mutex, each entry's
-// ledger/counters behind another (lock order: entry mutex, then server
-// mutex; never the reverse), and the heavy work — family construction,
-// grid evaluation, noise sampling — runs outside both, riding the
-// internally synchronized ExtensionFamily on the util/parallel.h pool.
-// Eviction during an in-flight query is safe: entries and families are
-// shared_ptr-held, so the query finishes against its own reference.
+// ledger/counters behind another (lock order: entry update mutex, then
+// entry mutex, then server mutex; never the reverse), and the heavy work —
+// family construction, grid evaluation, noise sampling — runs outside
+// both, riding the internally synchronized ExtensionFamily on the
+// util/parallel.h pool. Eviction during an in-flight query is safe:
+// entries, graphs, and families are shared_ptr-held, so the query finishes
+// against its own reference. Streaming updates (UpdateGraph) swap the
+// graph pointer and the cached family without blocking queries.
 //
 // Determinism: every admitted query atomically (under its graph's entry
 // mutex) charges the ledger and splits a child Rng off the server stream,
@@ -76,6 +78,19 @@ struct BudgetReport {
   double remaining = 0.0;
   int num_charges = 0;
   int num_refusals = 0;
+};
+
+// What UpdateGraph did: how much of the insert batch was new, the
+// post-update edge count, and how much of the warmed family survived.
+struct UpdateReport {
+  int edges_added = 0;     // inserts that were actually new edges
+  int duplicates = 0;      // already present, or repeated in the batch
+  int num_edges = 0;       // edge count after the update
+  // Incremental-maintenance telemetry (both 0 when no family was resident:
+  // nothing to patch, the next query builds cold from the updated graph).
+  int components_adopted = 0;
+  int components_invalidated = 0;
+  bool family_rewarmed = false;
 };
 
 struct ServeGraphStats {
@@ -145,6 +160,31 @@ class ReleaseServer {
   // against it finish normally.
   Status Evict(const std::string& name);
 
+  // Applies an insert-only edge batch to a registered graph — the
+  // streaming-update path. This is a *data* operation, not a release: it
+  // charges no budget and returns no private value; the graph's ledger,
+  // name, and cache key are unchanged.
+  //
+  // The update is atomic and non-blocking for queries. The patched graph
+  // is built beside the old one (Graph::ApplyEdgeDelta; invalid batches —
+  // self-loops, out-of-range endpoints — refuse with InvalidArgument and
+  // change nothing). If a warmed family is resident, an incremental family
+  // is derived from it: components the batch does not touch adopt the old
+  // family's solved state, merged components are rebuilt. The patched
+  // family is then published (FamilyCache::Replace) and the graph swapped
+  // *before* the invalidated cells re-warm — mirroring Load's
+  // register-before-warm — so queries arriving mid-re-warm are served by
+  // the patched family and block only on the invalidated cells; queries
+  // that resolved the old family before the swap finish against it (it
+  // stays alive through their shared_ptr). If the re-warm fails, the slot
+  // is dropped (the next query rebuilds cold from the patched graph), the
+  // graph swap stands, and the error is returned. Concurrent updates to
+  // the same graph are serialized. With no resident family only the graph
+  // swaps (family_rewarmed = false).
+  Result<UpdateReport> UpdateGraph(
+      const std::string& name,
+      const std::vector<std::pair<int, int>>& inserts);
+
   std::vector<std::string> GraphNames() const;
 
   // ε-node-private release of the number of connected components (Eq. (1)).
@@ -185,20 +225,29 @@ class ReleaseServer {
   struct Entry {
     Entry(Graph graph_in, const ServeGraphConfig& config_in,
           std::string cache_key_in)
-        : graph(std::move(graph_in)),
+        : graph(std::make_shared<const Graph>(std::move(graph_in))),
           config(config_in),
           cache_key(std::move(cache_key_in)),
           ledger(config_in.total_epsilon) {}
 
-    const Graph graph;
+    // The resident graph. A shared_ptr so UpdateGraph can swap in the
+    // patched graph atomically (write under mu) while readers — queries,
+    // Save, Stats — keep serving the snapshot they took; the edge-update
+    // path is the only writer.
+    std::shared_ptr<const Graph> graph;  // guarded by mu; never null
     const ServeGraphConfig config;
     // Family-cache key: unique per load (name + load id), so re-loading a
     // name after eviction can never alias the evicted graph's family. The
     // entry deliberately holds no family pointer of its own: every query
     // resolves through the FamilyCache, so a byte-cap eviction actually
-    // frees the memory and the next query rebuilds.
+    // frees the memory and the next query rebuilds. Updates keep the key:
+    // the patched family replaces the old one in the same slot.
     const std::string cache_key;
-    std::mutex mu;  // guards ledger, counters, and `retired`
+    // Serializes UpdateGraph calls on this graph; outermost (taken before
+    // mu, held across the incremental build + re-warm). Query paths never
+    // touch it.
+    std::mutex update_mu;
+    std::mutex mu;  // guards graph (the pointer), ledger, counters, retired
     BudgetLedger ledger;
     // Set (under mu) when a failed prewarm rolls this registration back:
     // queries that raced the rollback are refused at admission instead of
@@ -226,7 +275,13 @@ class ReleaseServer {
                          std::string label);
 
   // The Δ grid the family is warmed with (the Algorithm 1 access pattern).
-  static std::vector<double> WarmGrid(const Entry& entry);
+  static std::vector<double> WarmGrid(const Graph& graph,
+                                      const ServeGraphConfig& config);
+
+  // Snapshot of the entry's graph pointer (brief entry.mu critical
+  // section). Callers hold the snapshot across any use of the graph so an
+  // UpdateGraph swap cannot free it from under them.
+  static std::shared_ptr<const Graph> GraphSnapshot(Entry& entry);
 
   // Resolves the entry's family through the cache: a map-lookup hit when
   // resident (warmed or warming), a pipelined build+warm on first use or

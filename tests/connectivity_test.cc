@@ -90,5 +90,82 @@ TEST(ConnectivityTest, CutVertexDetection) {
   EXPECT_FALSE(IsCutVertex(gen::Empty(3), 1));
 }
 
+TEST(ConnectivityTest, AnalyzeEdgeDeltaMergesAndInternalEdges) {
+  // Components: {0,1} = 0, {2,3} = 1, {4} = 2, {5} = 3.
+  const Graph g(6, {{0, 1}, {2, 3}});
+  const std::vector<int> labels = ComponentLabels(g);
+  // Edge 1-2 merges components 0 and 1; edge 3-4 pulls singleton 2 into
+  // the same group; singleton 3 (vertex 5) is untouched.
+  const ComponentDeltaAnalysis analysis =
+      AnalyzeEdgeDelta(labels, 4, {Edge{1, 2}, Edge{3, 4}});
+  EXPECT_EQ(analysis.num_old_components, 4);
+  EXPECT_EQ(analysis.num_new_components, 2);  // {0..4} fused, {5} untouched
+  EXPECT_EQ(analysis.touched, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(analysis.groups.size(), 1u);
+  EXPECT_EQ(analysis.groups[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ConnectivityTest, AnalyzeEdgeDeltaInternalEdgeIsSizeOneGroup) {
+  // A path 0-1-2 receiving chord 0-2: the component's vertex set is
+  // unchanged but its edge set is not, so it must come back as a
+  // single-member group (stale structure, no merge).
+  const Graph g(4, {{0, 1}, {1, 2}});
+  const std::vector<int> labels = ComponentLabels(g);
+  const ComponentDeltaAnalysis analysis =
+      AnalyzeEdgeDelta(labels, 2, {Edge{0, 2}});
+  EXPECT_EQ(analysis.num_new_components, 2);
+  EXPECT_EQ(analysis.touched, (std::vector<int>{0}));
+  ASSERT_EQ(analysis.groups.size(), 1u);
+  EXPECT_EQ(analysis.groups[0], (std::vector<int>{0}));
+}
+
+TEST(ConnectivityTest, AnalyzeEdgeDeltaEmptyBatchTouchesNothing) {
+  const Graph g(5, {{0, 1}, {2, 3}});
+  const ComponentDeltaAnalysis analysis =
+      AnalyzeEdgeDelta(ComponentLabels(g), 3, {});
+  EXPECT_TRUE(analysis.touched.empty());
+  EXPECT_TRUE(analysis.groups.empty());
+  EXPECT_EQ(analysis.num_new_components, 3);
+}
+
+TEST(ConnectivityTest, AnalyzeEdgeDeltaMatchesRebuiltLabels) {
+  // Randomized cross-check: the label-level analysis must predict exactly
+  // the component count ComponentLabels finds on the patched graph, and
+  // untouched components must keep their vertex sets.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 20 + static_cast<int>(rng.NextUint64() % 30);
+    const Graph g = gen::ErdosRenyi(n, 1.0 / n, rng);
+    const std::vector<int> labels = ComponentLabels(g);
+    const int num_old = CountConnectedComponents(g);
+    std::vector<std::pair<int, int>> inserts;
+    std::vector<Edge> added;
+    for (int k = 0; k < 4; ++k) {
+      const int u = static_cast<int>(rng.NextUint64() % n);
+      const int v = static_cast<int>(rng.NextUint64() % n);
+      if (u == v) continue;
+      const Edge e{std::min(u, v), std::max(u, v)};
+      if (g.HasEdge(e.u, e.v)) continue;
+      inserts.emplace_back(e.u, e.v);
+    }
+    const Result<Graph::EdgeDelta> delta = g.ApplyEdgeDelta(inserts);
+    ASSERT_TRUE(delta.ok());
+    const ComponentDeltaAnalysis analysis =
+        AnalyzeEdgeDelta(labels, num_old, delta->added);
+    EXPECT_EQ(analysis.num_new_components,
+              CountConnectedComponents(delta->graph));
+    // Untouched old components keep their vertex sets in the new labeling.
+    std::vector<bool> touched(num_old, false);
+    for (int label : analysis.touched) touched[label] = true;
+    const std::vector<int> new_labels = ComponentLabels(delta->graph);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (touched[labels[u]] || touched[labels[v]]) continue;
+        EXPECT_EQ(labels[u] == labels[v], new_labels[u] == new_labels[v]);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nodedp

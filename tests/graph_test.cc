@@ -216,5 +216,71 @@ TEST(GraphTest, TryFromSortedEdgesGuardsIntOverflow) {
   EXPECT_TRUE(Graph::TryFromSortedEdges(1000, {}).ok());
 }
 
+TEST(GraphTest, ApplyEdgeDeltaMergesAndNormalizes) {
+  const Graph g(5, {{0, 1}, {2, 3}});
+  // Reversed endpoints, an in-batch repeat, and a resident duplicate.
+  const Result<Graph::EdgeDelta> delta =
+      g.ApplyEdgeDelta({{4, 1}, {1, 4}, {3, 2}, {0, 4}});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->duplicates, 2);
+  ASSERT_EQ(delta->added.size(), 2u);
+  EXPECT_EQ(delta->added[0], (Edge{0, 4}));
+  EXPECT_EQ(delta->added[1], (Edge{1, 4}));
+  EXPECT_EQ(delta->graph.NumEdges(), 4);
+  EXPECT_TRUE(delta->graph.HasEdge(1, 4));
+  EXPECT_TRUE(delta->graph.HasEdge(0, 4));
+  // The original graph is untouched — readers keep serving it.
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_FALSE(g.HasEdge(1, 4));
+}
+
+TEST(GraphTest, ApplyEdgeDeltaMatchesFromScratchBuild) {
+  const Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  const Result<Graph::EdgeDelta> delta =
+      g.ApplyEdgeDelta({{2, 0}, {4, 5}, {0, 5}});
+  ASSERT_TRUE(delta.ok());
+  const Graph rebuilt(6, {{0, 1}, {1, 2}, {3, 4}, {0, 2}, {4, 5}, {0, 5}});
+  ASSERT_EQ(delta->graph.NumEdges(), rebuilt.NumEdges());
+  for (int e = 0; e < rebuilt.NumEdges(); ++e) {
+    EXPECT_EQ(delta->graph.EdgeAt(e), rebuilt.EdgeAt(e));
+  }
+}
+
+TEST(GraphTest, ApplyEdgeDeltaPureDuplicatesKeepsGraph) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const Result<Graph::EdgeDelta> delta = g.ApplyEdgeDelta({{1, 0}, {2, 3}});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->added.empty());
+  EXPECT_EQ(delta->duplicates, 2);
+  EXPECT_EQ(delta->graph.NumEdges(), 2);
+}
+
+TEST(GraphTest, ApplyEdgeDeltaRefusesBadBatchesWholesale) {
+  const Graph g(4, {{0, 1}});
+  // A self-loop or an out-of-range endpoint anywhere in the batch refuses
+  // everything: this is the data-plane entry point, so bad input must
+  // produce a Status, not a CHECK, and must change nothing.
+  const Result<Graph::EdgeDelta> self_loop = g.ApplyEdgeDelta({{2, 3}, {1, 1}});
+  ASSERT_FALSE(self_loop.ok());
+  EXPECT_EQ(self_loop.status().code(), StatusCode::kInvalidArgument);
+  const Result<Graph::EdgeDelta> out_of_range =
+      g.ApplyEdgeDelta({{2, 3}, {0, 4}});
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  const Result<Graph::EdgeDelta> negative = g.ApplyEdgeDelta({{-1, 2}});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, ApplyEdgeDeltaEmptyBatch) {
+  const Graph g(3, {{0, 1}});
+  const Result<Graph::EdgeDelta> delta = g.ApplyEdgeDelta({});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->added.empty());
+  EXPECT_EQ(delta->duplicates, 0);
+  EXPECT_EQ(delta->graph.NumEdges(), 1);
+}
+
 }  // namespace
 }  // namespace nodedp

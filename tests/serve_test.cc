@@ -470,6 +470,124 @@ TEST(ReleaseServerTest, SaveAndLoadFromFileRoundTrip) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming updates (UpdateGraph)
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseServerTest, UpdateGraphMatchesFreshLoadOfPatchedGraph) {
+  // The incremental path must be invisible in the released values: a server
+  // that loads g and applies a delta answers exactly like a same-seed
+  // server that loads the patched graph directly (bit-identical family,
+  // same Rng split sequence).
+  const Graph g = TestGraph(300, 1.2, 9);
+  const std::vector<std::pair<int, int>> batch = {
+      {0, 1}, {10, 250}, {3, 299}, {42, 43}};
+  const Result<Graph::EdgeDelta> delta = g.ApplyEdgeDelta(batch);
+  ASSERT_TRUE(delta.ok());
+
+  ReleaseServer updated(77);
+  ASSERT_TRUE(updated.Load("g", g, SmallConfig(100.0)).ok());
+  const auto report = updated.UpdateGraph("g", batch);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->edges_added, static_cast<int>(delta->added.size()));
+  EXPECT_EQ(report->num_edges, delta->graph.NumEdges());
+  EXPECT_TRUE(report->family_rewarmed);
+  EXPECT_GT(report->components_invalidated, 0);
+
+  ReleaseServer fresh(77);
+  ASSERT_TRUE(fresh.Load("g", delta->graph, SmallConfig(100.0)).ok());
+
+  for (double epsilon : {0.5, 1.0, 2.0}) {
+    const auto a = updated.ReleaseCc("g", epsilon);
+    const auto b = fresh.ReleaseCc("g", epsilon);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+    EXPECT_EQ(a->forest.selected_delta, b->forest.selected_delta);
+  }
+}
+
+TEST(ReleaseServerTest, UpdateGraphChargesNoBudget) {
+  ReleaseServer server(3);
+  ASSERT_TRUE(server.Load("g", TestGraph(), SmallConfig(10.0)).ok());
+  ASSERT_TRUE(server.ReleaseCc("g", 1.0).ok());
+  const auto before = server.Budget("g");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(server.UpdateGraph("g", {{0, 1}, {5, 7}}).ok());
+  const auto after = server.Budget("g");
+  ASSERT_TRUE(after.ok());
+  // A data operation, not a release: spent/charges are untouched.
+  EXPECT_DOUBLE_EQ(after->spent, before->spent);
+  EXPECT_EQ(after->num_charges, before->num_charges);
+}
+
+TEST(ReleaseServerTest, UpdateGraphRefusesBadBatchAtomically) {
+  ReleaseServer server(3);
+  ASSERT_TRUE(server.Load("g", TestGraph(50, 1.0, 4), SmallConfig(10.0)).ok());
+  const auto stats_before = server.Stats("g");
+  ASSERT_TRUE(stats_before.ok());
+  // Self-loop and out-of-range endpoints refuse the whole batch.
+  EXPECT_EQ(server.UpdateGraph("g", {{0, 1}, {7, 7}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.UpdateGraph("g", {{0, 50}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.UpdateGraph("x", {{0, 1}}).status().code(),
+            StatusCode::kNotFound);
+  const auto stats_after = server.Stats("g");
+  ASSERT_TRUE(stats_after.ok());
+  EXPECT_EQ(stats_after->num_edges, stats_before->num_edges);
+  EXPECT_TRUE(server.ReleaseCc("g", 0.5).ok());
+}
+
+TEST(ReleaseServerTest, UpdateGraphPureDuplicatesKeepFamily) {
+  const Graph g = TestGraph(80, 1.5, 6);
+  ASSERT_GT(g.NumEdges(), 0);
+  ReleaseServer server(3);
+  ASSERT_TRUE(server.Load("g", g, SmallConfig(10.0)).ok());
+  const Edge e = g.EdgeAt(0);
+  const auto report = server.UpdateGraph("g", {{e.v, e.u}, {e.u, e.v}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->edges_added, 0);
+  EXPECT_EQ(report->duplicates, 2);
+  EXPECT_FALSE(report->family_rewarmed);  // nothing changed, nothing rebuilt
+  EXPECT_EQ(report->num_edges, g.NumEdges());
+}
+
+TEST(ReleaseServerTest, UpdateGraphWithoutResidentFamilySwapsGraphOnly) {
+  ServeGraphConfig config = SmallConfig(10.0);
+  config.prewarm = false;
+  ReleaseServer server(3);
+  ASSERT_TRUE(server.Load("g", TestGraph(60, 1.0, 8), config).ok());
+  const auto report = server.UpdateGraph("g", {{0, 1}, {2, 3}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->family_rewarmed);
+  EXPECT_EQ(report->components_adopted, 0);
+  EXPECT_EQ(report->components_invalidated, 0);
+  // The next query builds cold from the patched graph.
+  EXPECT_TRUE(server.ReleaseCc("g", 0.5).ok());
+  const auto stats = server.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->family_warmed);
+}
+
+TEST(ReleaseServerTest, UpdateGraphAdoptsUntouchedComponents) {
+  // Many well-separated components, a delta confined to two of them: the
+  // incremental family must adopt the rest (and say so in the report).
+  std::vector<Graph> parts;
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) parts.push_back(gen::ErdosRenyi(40, 0.06, rng));
+  const Graph g = gen::DisjointUnion(parts);
+  ReleaseServer server(3);
+  ASSERT_TRUE(server.Load("g", g, SmallConfig(10.0)).ok());
+  // An edge inside block 0 and one merging blocks 1 and 2.
+  const auto report = server.UpdateGraph("g", {{0, 1}, {45, 90}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->family_rewarmed);
+  EXPECT_GT(report->components_adopted, 0);
+  EXPECT_GT(report->components_invalidated, 0);
+  EXPECT_TRUE(server.ReleaseCc("g", 0.5).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Library-level sweep entry points
 // ---------------------------------------------------------------------------
 

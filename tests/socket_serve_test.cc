@@ -376,6 +376,39 @@ TEST(ProtocolTest, UnknownCommandIsErr) {
   EXPECT_FALSE(reply.quit);
 }
 
+TEST(ProtocolTest, AddEdgesParsesAppliesAndRefuses) {
+  ReleaseServer server(1);
+  ASSERT_EQ(HandleRequestLine(server, "gen g gnp 60 1.2 5 10 8")
+                .response.substr(0, 2),
+            "ok");
+  // Usage errors: missing pair, odd operand count, garbage endpoints.
+  EXPECT_EQ(HandleRequestLine(server, "add_edges g").response.substr(0, 3),
+            "err");
+  EXPECT_EQ(HandleRequestLine(server, "add_edges g 1").response.substr(0, 3),
+            "err");
+  EXPECT_EQ(HandleRequestLine(server, "add_edges g 1 2 3").response
+                .substr(0, 3),
+            "err");
+  EXPECT_EQ(HandleRequestLine(server, "add_edges g one 2").response
+                .substr(0, 3),
+            "err");
+  // A bad batch (self-loop) is refused server-side with nothing applied.
+  EXPECT_EQ(HandleRequestLine(server, "add_edges g 4 4").response.substr(0, 3),
+            "err");
+  // A valid batch applies, reports the delta, and charges no budget.
+  const std::string before =
+      HandleRequestLine(server, "budget g").response;
+  const ProtocolReply applied =
+      HandleRequestLine(server, "add_edges g 0 1 0 1 58 59");
+  EXPECT_EQ(applied.response.substr(0, 2), "ok");
+  EXPECT_NE(applied.response.find("rewarmed=1"), std::string::npos);
+  EXPECT_EQ(HandleRequestLine(server, "budget g").response, before);
+  // The update is visible to stats and later releases.
+  EXPECT_EQ(HandleRequestLine(server, "release_cc g 0.5").response
+                .substr(0, 2),
+            "ok");
+}
+
 TEST(ProtocolTest, QuitSetsTheQuitFlag) {
   ReleaseServer server(1);
   const ProtocolReply reply = HandleRequestLine(server, "quit");
