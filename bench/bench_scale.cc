@@ -11,11 +11,25 @@
 //
 // Reports wall-clock ns for graph construction, ExtensionFamily
 // construction (component decomposition via CSR Induce), and the private
-// release itself, plus Graph::MemoryBytes(), through both the console
-// table and the nodedp-bench-v1 JSON artifact (BENCH_scale.json).
+// release itself, plus Graph::MemoryBytes() and peak RSS, through both the
+// console table and the nodedp-bench-v1 JSON artifact (BENCH_scale.json).
+//
+// The mmap workload (Scale/mmap/*) measures the zero-copy serving path:
+// the entity graph is written as an NDPG v2 file, then served by two
+// child processes — one Graph::FromMmap + approx-tier queries, one full
+// heap load (ReadGraphV2File) + the same queries. One child per
+// measurement because VmHWM (peak RSS) never decreases within a process;
+// in-process before/after deltas would report whichever workload ran
+// first. At scale the mapped child's peak RSS sits far below the heap
+// child's (it pages in only what the truncated BFS touches);
+// NODEDP_SCALE_STRICT=1 gates mapped_rss * 2 <= heap_rss (the nightly
+// >=10M-vertex run sets it; smoke sizes stay telemetry-only, since
+// process baseline RSS dominates tiny graphs).
 //
 // NODEDP_SCALE_VERTICES overrides the target vertex count (default
 // 1,200,000; CI smoke runs use a smaller value).
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -27,10 +41,13 @@
 
 #include "core/extension_family.h"
 #include "core/private_cc.h"
+#include "core/sublinear_cc.h"
 #include "eval/json_report.h"
 #include "eval/table.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/ndpg_v2.h"
 #include "util/random.h"
 
 namespace {
@@ -60,9 +77,89 @@ struct ScaleRow {
   double build_ns = 0.0;
 };
 
+// --- mmap workload helpers --------------------------------------------------
+
+// Child mode: load the v2 file (`mmap` zero-copy or `heap` full read), run
+// a fixed approx-tier query workload, report peak RSS and timings on one
+// parseable stdout line.
+int RunMmapChild(const std::string& path, const std::string& mode) {
+  const auto load_start = Clock::now();
+  Result<Graph> loaded =
+      mode == "mmap" ? Graph::FromMmap(path) : ReadGraphV2File(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "mmap-child(%s): %s\n", mode.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const double load_ns = ElapsedNs(load_start);
+  Rng rng(4242);
+  PrivateSublinearCcOptions options;
+  options.delta_max = 4;  // the entity workload's public record cap
+  double sum = 0.0;
+  const auto query_start = Clock::now();
+  for (int q = 0; q < 4; ++q) {
+    const auto release = PrivateSublinearCc(*loaded, 1.0, rng, options);
+    if (!release.ok()) {
+      std::fprintf(stderr, "mmap-child(%s): %s\n", mode.c_str(),
+                   release.status().ToString().c_str());
+      return 1;
+    }
+    sum += release->estimate;
+  }
+  const double query_ns = ElapsedNs(query_start);
+  std::printf("child_ok mode=%s rss=%zu load_ns=%.0f query_ns=%.0f "
+              "sum=%.3f\n",
+              mode.c_str(), PeakRssBytes(), load_ns, query_ns, sum);
+  return 0;
+}
+
+std::string SelfExePath() {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return "";
+  buffer[len] = '\0';
+  return buffer;
+}
+
+struct ChildResult {
+  bool ok = false;
+  double rss = 0.0;
+  double load_ns = 0.0;
+  double query_ns = 0.0;
+};
+
+ChildResult RunChild(const std::string& exe, const std::string& path,
+                     const char* mode) {
+  ChildResult result;
+  const std::string command =
+      "'" + exe + "' --mmap-child '" + path + "' " + mode;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char line[512];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    unsigned long long rss = 0;
+    double load_ns = 0.0;
+    double query_ns = 0.0;
+    if (std::sscanf(line,
+                    "child_ok mode=%*s rss=%llu load_ns=%lf query_ns=%lf",
+                    &rss, &load_ns, &query_ns) == 3) {
+      result.rss = static_cast<double>(rss);
+      result.load_ns = load_ns;
+      result.query_ns = query_ns;
+      result.ok = true;
+    }
+  }
+  if (pclose(pipe) != 0) result.ok = false;
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--mmap-child") {
+    return RunMmapChild(argv[2], argv[3]);
+  }
   const long long target = TargetVertices();
   std::printf("S1: scale bench, target vertices = %lld, epsilon = 1\n\n",
               target);
@@ -161,7 +258,91 @@ int main() {
                                  family.stats().lp_evaluations);
     record.counters.emplace_back("fast_certificates",
                                  family.stats().fast_certificates);
+    // The process-wide high-water mark so far (grows monotonically across
+    // rows; per-workload peaks come from the mmap child processes below).
+    if (PeakRssBytes() > 0) {
+      record.counters.emplace_back("peak_rss_bytes",
+                                   static_cast<double>(PeakRssBytes()));
+    }
     report.Add(std::move(record));
+  }
+
+  // --- mmap workload: zero-copy serving vs heap load ------------------------
+  {
+    const std::string exe = SelfExePath();
+    const Graph& g = rows[0].graph;  // the entity workload
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string v2_path =
+        std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+        "/nodedp_bench_scale_" + std::to_string(getpid()) + ".ndpg2";
+    const Status written = WriteGraphV2File(g, v2_path);
+    if (exe.empty() || !written.ok()) {
+      std::fprintf(stderr, "mmap workload skipped: %s\n",
+                   exe.empty() ? "cannot resolve /proc/self/exe"
+                               : written.ToString().c_str());
+      all_ok = false;
+    } else {
+      const ChildResult mapped = RunChild(exe, v2_path, "mmap");
+      const ChildResult heap = RunChild(exe, v2_path, "heap");
+      if (!mapped.ok || !heap.ok) {
+        std::fprintf(stderr, "mmap workload failed (mapped ok=%d heap ok=%d)\n",
+                     mapped.ok ? 1 : 0, heap.ok ? 1 : 0);
+        all_ok = false;
+      } else {
+        const double rss_ratio =
+            mapped.rss > 0 ? heap.rss / mapped.rss : 0.0;
+        std::printf(
+            "\nmmap workload (n=%d m=%d file=%.1f MB):\n"
+            "  mapped: load %.1f ms, queries %.1f ms, peak RSS %.1f MB\n"
+            "  heap:   load %.1f ms, queries %.1f ms, peak RSS %.1f MB\n"
+            "  heap/mapped peak-RSS ratio: %.2f\n",
+            g.NumVertices(), g.NumEdges(),
+            static_cast<double>(ndpgv2::FileSizeBytes(ndpgv2::CanonicalHeader(
+                g.NumVertices(), g.NumEdges()))) /
+                (1024.0 * 1024.0),
+            mapped.load_ns * 1e-6, mapped.query_ns * 1e-6,
+            mapped.rss / (1024.0 * 1024.0), heap.load_ns * 1e-6,
+            heap.query_ns * 1e-6, heap.rss / (1024.0 * 1024.0), rss_ratio);
+
+        BenchRecord mapped_record;
+        mapped_record.name = "Scale/mmap/serve_mapped";
+        mapped_record.real_ns = mapped.load_ns;
+        mapped_record.cpu_ns = mapped.load_ns;
+        mapped_record.iterations = 1;
+        mapped_record.counters.emplace_back("vertices", g.NumVertices());
+        mapped_record.counters.emplace_back("edges", g.NumEdges());
+        mapped_record.counters.emplace_back("peak_rss_bytes", mapped.rss);
+        mapped_record.counters.emplace_back("query_ns", mapped.query_ns);
+        mapped_record.counters.emplace_back("rss_ratio", rss_ratio);
+        report.Add(std::move(mapped_record));
+
+        BenchRecord heap_record;
+        heap_record.name = "Scale/mmap/serve_heap";
+        heap_record.real_ns = heap.load_ns;
+        heap_record.cpu_ns = heap.load_ns;
+        heap_record.iterations = 1;
+        heap_record.counters.emplace_back("vertices", g.NumVertices());
+        heap_record.counters.emplace_back("edges", g.NumEdges());
+        heap_record.counters.emplace_back("peak_rss_bytes", heap.rss);
+        heap_record.counters.emplace_back("query_ns", heap.query_ns);
+        report.Add(std::move(heap_record));
+
+        // The acceptance gate for the nightly >=10M run: a mapped server's
+        // resident set must sit materially below a heap load's. Opt-in,
+        // because at smoke sizes the process baseline dominates both.
+        const char* strict = std::getenv("NODEDP_SCALE_STRICT");
+        if (strict != nullptr && strict[0] == '1' &&
+            !(mapped.rss * 2.0 <= heap.rss)) {
+          std::fprintf(stderr,
+                       "STRICT: mapped peak RSS %.1f MB not materially below "
+                       "heap %.1f MB (need <= half)\n",
+                       mapped.rss / (1024.0 * 1024.0),
+                       heap.rss / (1024.0 * 1024.0));
+          all_ok = false;
+        }
+      }
+    }
+    std::remove(v2_path.c_str());
   }
 
   table.Print(std::cout);

@@ -227,11 +227,17 @@ int main() {
 
   const double update_ns = apply_ns + incremental_ns;
   const double delta_speedup = cold_ns / update_ns;
+  std::vector<std::pair<std::string, double>> summary_counters = {
+      {"components_adopted", static_cast<double>(adopted)},
+      {"components_invalidated", static_cast<double>(invalidated)},
+      {"cold_ns", cold_ns},
+      {"delta_speedup", delta_speedup}};
+  if (const std::size_t peak = PeakRssBytes(); peak > 0) {
+    summary_counters.emplace_back("peak_rss_bytes",
+                                  static_cast<double>(peak));
+  }
   add_record("incremental_rewarm", incremental_ns,
-             {{"components_adopted", adopted},
-              {"components_invalidated", invalidated},
-              {"cold_ns", cold_ns},
-              {"delta_speedup", delta_speedup}});
+             std::move(summary_counters));
   table.Cell("delta_speedup")
       .Cell(delta_speedup, 2)
       .Cell("cold / (apply + incremental), target >= 5");

@@ -26,9 +26,10 @@
 //
 // Requests (see docs/SERVING.md for the full table):
 //   load <name> <path> [budget] [delta_max]     register a graph file
+//   load_mmap <name> <path> [budget] [delta_max] zero-copy NDPG v2 mmap
 //   gen <name> gnp <n> <avg_deg> <seed> [budget] [delta_max]
-//   save <name> <path> [text|binary]
-//   release_cc <name> <epsilon>                 one ε-node-private release
+//   save <name> <path> [text|binary|v2]
+//   release_cc <name> <epsilon> [tier=approx|tier=exact]
 //   release_sf <name> <epsilon>
 //   sweep <name> <eps1> <eps2> ...              Σ εᵢ charged all-or-nothing
 //   add_edges <name> <u1> <v1> [<u2> <v2> ...]  insert edges (no ε charge)

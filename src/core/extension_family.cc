@@ -109,7 +109,8 @@ ExtensionFamily::ExtensionFamily(const Graph& graph,
   {
     // Base may be serving queries or warming concurrently: its cache,
     // watermark, fast-path floor, and cut pool mutate only under its
-    // mutex, so one lock makes the whole adoption a consistent snapshot.
+    // mutex, so one lock makes the whole adoption (and the merged groups'
+    // pool seeding below) a consistent snapshot.
     std::lock_guard<std::mutex> base_lock(base.mu_);
     for (int c = 0; c < num_kept; ++c) {
       if (touched[static_cast<std::size_t>(c)]) continue;
@@ -135,38 +136,64 @@ ExtensionFamily::ExtensionFamily(const Graph& graph,
       ++components_adopted_;
       pending.push_back(Pending{state->vertices[0], std::move(state)});
     }
-  }
-  for (const std::vector<int>& group : delta.groups) {
-    // One rebuilt component per fused group: merge the members' sorted
-    // vertex lists (kept components + absorbed singletons). Connected by
-    // construction — each member was connected and the batch's edges are
-    // what fused them — so f_sf = |C| - 1 holds, and EnsureInduced
-    // re-derives it in Debug builds.
-    auto state = std::make_unique<ComponentState>();
-    std::size_t size = 0;
-    for (int label : group) {
-      size += label < num_kept
-                  ? base.components_[static_cast<std::size_t>(label)]
-                        ->vertices.size()
-                  : 1;
-    }
-    state->vertices.reserve(size);
-    for (int label : group) {
-      if (label < num_kept) {
-        const std::vector<int>& members =
-            base.components_[static_cast<std::size_t>(label)]->vertices;
-        state->vertices.insert(state->vertices.end(), members.begin(),
-                               members.end());
-      } else {
-        state->vertices.push_back(
-            singleton_vertex[static_cast<std::size_t>(label - num_kept)]);
+    for (const std::vector<int>& group : delta.groups) {
+      // One rebuilt component per fused group: merge the members' sorted
+      // vertex lists (kept components + absorbed singletons). Connected by
+      // construction — each member was connected and the batch's edges are
+      // what fused them — so f_sf = |C| - 1 holds, and EnsureInduced
+      // re-derives it in Debug builds.
+      auto state = std::make_unique<ComponentState>();
+      std::size_t size = 0;
+      for (int label : group) {
+        size += label < num_kept
+                    ? base.components_[static_cast<std::size_t>(label)]
+                          ->vertices.size()
+                    : 1;
       }
+      state->vertices.reserve(size);
+      for (int label : group) {
+        if (label < num_kept) {
+          const std::vector<int>& members =
+              base.components_[static_cast<std::size_t>(label)]->vertices;
+          state->vertices.insert(state->vertices.end(), members.begin(),
+                                 members.end());
+        } else {
+          state->vertices.push_back(
+              singleton_vertex[static_cast<std::size_t>(label - num_kept)]);
+        }
+      }
+      std::sort(state->vertices.begin(), state->vertices.end());
+      state->f_sf = static_cast<double>(state->vertices.size()) - 1.0;
+      // Seed the merged component's cut pool from its members' pools. A
+      // subtour constraint is valid for ANY vertex subset, so a member's
+      // pooled cuts stay valid (and typically still binding) after the
+      // merge — the re-solve starts from the cuts that mattered last time
+      // instead of rediscovering them round by round. Remap member-local
+      // id -> host id -> merged-local id; each map is strictly increasing,
+      // so sorted cuts stay sorted, and members are vertex-disjoint, so no
+      // cross-member duplicates can arise.
+      for (int label : group) {
+        if (label >= num_kept) continue;  // singletons carry no pool
+        const ComponentState& member =
+            *base.components_[static_cast<std::size_t>(label)];
+        for (const std::vector<int>& cut : member.cut_pool) {
+          std::vector<int> remapped;
+          remapped.reserve(cut.size());
+          for (int local : cut) {
+            const int host =
+                member.vertices[static_cast<std::size_t>(local)];
+            remapped.push_back(static_cast<int>(
+                std::lower_bound(state->vertices.begin(),
+                                 state->vertices.end(), host) -
+                state->vertices.begin()));
+          }
+          state->cut_pool.push_back(std::move(remapped));
+        }
+      }
+      ++components_invalidated_;
+      ++to_induce;
+      pending.push_back(Pending{state->vertices[0], std::move(state)});
     }
-    std::sort(state->vertices.begin(), state->vertices.end());
-    state->f_sf = static_cast<double>(state->vertices.size()) - 1.0;
-    ++components_invalidated_;
-    ++to_induce;
-    pending.push_back(Pending{state->vertices[0], std::move(state)});
   }
   std::sort(pending.begin(), pending.end(),
             [](const Pending& a, const Pending& b) {

@@ -1,8 +1,13 @@
 #include "core/sublinear_cc.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "dp/laplace.h"
 #include "util/check.h"
 
 namespace nodedp {
@@ -63,6 +68,134 @@ SublinearCcEstimate SublinearConnectedComponents(
   }
   result.estimate = total * n / options.num_samples;
   return result;
+}
+
+namespace {
+
+// Exact F_T: the number of connected components of size at most `cutoff`,
+// by one untruncated BFS sweep — O(n + m), no sampling error.
+double ExactTruncatedComponentCount(const Graph& g, int cutoff,
+                                    std::int64_t* work) {
+  const int n = g.NumVertices();
+  std::vector<bool> visited(n, false);
+  std::vector<int> queue;
+  double count = 0.0;
+  for (int root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    queue.clear();
+    queue.push_back(root);
+    visited[root] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const int u = queue[head++];
+      ++*work;
+      for (int w : g.Neighbors(u)) {
+        if (visited[w]) continue;
+        visited[w] = true;
+        queue.push_back(w);
+      }
+    }
+    if (static_cast<int>(queue.size()) <= cutoff) count += 1.0;
+  }
+  return count;
+}
+
+// Draws `count` distinct vertices of [0, n) uniformly. Only called with
+// count < n/2, so rejection sampling terminates quickly (expected < 2
+// draws per sample).
+std::vector<int> SampleDistinctVertices(int n, int count, Rng& rng) {
+  std::unordered_set<int> chosen;
+  chosen.reserve(count * 2);
+  std::vector<int> samples;
+  samples.reserve(count);
+  while (static_cast<int>(samples.size()) < count) {
+    const int v = static_cast<int>(rng.NextUint64(n));
+    if (chosen.insert(v).second) samples.push_back(v);
+  }
+  return samples;
+}
+
+}  // namespace
+
+Result<SublinearCcRelease> PrivateSublinearCc(
+    const Graph& g, double epsilon, Rng& rng,
+    const PrivateSublinearCcOptions& options) {
+  if (!(epsilon > 0)) {
+    return Status::InvalidArgument("PrivateSublinearCc: epsilon must be > 0");
+  }
+  if (options.bfs_cutoff < 1) {
+    return Status::InvalidArgument(
+        "PrivateSublinearCc: bfs_cutoff must be >= 1");
+  }
+  if (options.num_samples < 0) {
+    return Status::InvalidArgument(
+        "PrivateSublinearCc: num_samples must be >= 0 (0 = auto)");
+  }
+  SublinearCcRelease release;
+  release.bfs_cutoff = options.bfs_cutoff;
+  const int n = g.NumVertices();
+  if (n == 0) {
+    release.delta_max = 0;
+    release.num_samples = 0;
+    release.exact_ft = true;
+    release.sensitivity = 1.0;
+    release.laplace_scale = 1.0 / epsilon;
+    release.estimate = LaplaceMechanism(0.0, 1.0, epsilon, rng);
+    return release;
+  }
+  // Effective public degree promise; no promise means D = n (any degree is
+  // possible), which keeps the release unconditionally private at the cost
+  // of much larger noise — same semantics as the exact tier's delta_max.
+  const int degree_cap =
+      options.delta_max > 0 ? std::min(options.delta_max, n) : n;
+  release.delta_max = degree_cap;
+
+  // Auto sample count: s = T * (D + 2) equates the Laplace scale
+  // (1 + (n/s)(D+2)) / eps with the truncation bias bound n/T (up to the
+  // +1), so neither error source dominates pointlessly.
+  std::int64_t samples = options.num_samples > 0
+                             ? options.num_samples
+                             : static_cast<std::int64_t>(options.bfs_cutoff) *
+                                   (static_cast<std::int64_t>(degree_cap) + 2);
+  samples = std::max<std::int64_t>(1, std::min<std::int64_t>(samples, n));
+
+  // Past half the vertex set, sampling without replacement saves nothing:
+  // compute F_T exactly (s = n in the sensitivity bound, zero sampling
+  // error).
+  const bool exact = samples >= (n + 1) / 2;
+  if (exact) samples = n;
+  release.num_samples = static_cast<int>(samples);
+  release.exact_ft = exact;
+
+  if (exact) {
+    release.raw_estimate = ExactTruncatedComponentCount(
+        g, options.bfs_cutoff, &release.vertices_visited);
+    release.sampling_error_bound = 0.0;
+  } else {
+    const std::vector<int> sampled =
+        SampleDistinctVertices(n, static_cast<int>(samples), rng);
+    double total = 0.0;
+    for (int v : sampled) {
+      int work = 0;
+      const int size =
+          TruncatedComponentSize(g, v, options.bfs_cutoff, &work);
+      release.vertices_visited += work;
+      if (size > 0) total += 1.0 / size;
+    }
+    release.raw_estimate = total * n / static_cast<double>(samples);
+    release.sampling_error_bound =
+        static_cast<double>(n) / std::sqrt(static_cast<double>(samples));
+  }
+
+  release.sensitivity =
+      1.0 + static_cast<double>(n) / static_cast<double>(samples) *
+                (static_cast<double>(degree_cap) + 2.0);
+  release.laplace_scale = release.sensitivity / epsilon;
+  release.truncation_bias_bound =
+      static_cast<double>(n) / static_cast<double>(options.bfs_cutoff);
+  release.estimate =
+      LaplaceMechanism(release.raw_estimate, release.sensitivity, epsilon, rng);
+  return release;
 }
 
 }  // namespace nodedp

@@ -74,6 +74,32 @@ std::string BenchJsonPath(const std::string& suite) {
   return "BENCH_" + suite + ".json";
 }
 
+namespace {
+
+// Reads a "Vm...: <kB> kB" line from /proc/self/status; 0 if absent.
+std::size_t ProcStatusBytes(const char* field) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  const std::string prefix = std::string(field) + ":";
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    long long kb = 0;
+    if (std::sscanf(line.c_str() + prefix.size(), "%lld", &kb) == 1 &&
+        kb >= 0) {
+      return static_cast<std::size_t>(kb) * 1024;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t PeakRssBytes() { return ProcStatusBytes("VmHWM"); }
+
+std::size_t CurrentRssBytes() { return ProcStatusBytes("VmRSS"); }
+
 JsonReport::JsonReport(std::string suite)
     : suite_(std::move(suite)),
       git_rev_(GitRevisionFromEnv()),

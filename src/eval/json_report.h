@@ -82,6 +82,18 @@ std::string GitRevisionFromEnv();
 // "BENCH_<suite>.json" in the working directory.
 std::string BenchJsonPath(const std::string& suite);
 
+// Process memory telemetry from /proc/self/status, for the scale benches'
+// resident-set counters. Both return 0 when the proc file is unavailable
+// (non-Linux) — callers emit the counter only when nonzero.
+//
+// PeakRssBytes (VmHWM) is the high-water mark and NEVER decreases within a
+// process: measuring several workloads' peaks in one process reports the
+// max of everything so far, not each workload's own. Benches that compare
+// peaks (mmap vs heap load) must fork one child process per measurement.
+std::size_t PeakRssBytes();
+// Current resident set (VmRSS).
+std::size_t CurrentRssBytes();
+
 }  // namespace nodedp
 
 #endif  // NODEDP_EVAL_JSON_REPORT_H_

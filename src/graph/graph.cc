@@ -4,15 +4,88 @@
 #include <cstdint>
 #include <iterator>
 #include <string>
+#include <utility>
 
+#include "graph/ndpg_v2.h"
 #include "util/check.h"
+#include "util/mmap_file.h"
 
 namespace nodedp {
 
-Graph::Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs)
-    : num_vertices_(num_vertices) {
+namespace {
+
+// The mmap backing serves file bytes as the in-memory arrays directly,
+// which is only the identity transform on little-endian hosts.
+bool HostIsLittleEndian() {
+  const std::uint32_t probe = 1;
+  return *reinterpret_cast<const unsigned char*>(&probe) == 1;
+}
+
+// Builds the CSR arrays from `edges` (sorted, unique, normalized).
+void BuildCsr(int num_vertices, const std::vector<Edge>& edges,
+              std::vector<int>* offsets, std::vector<int>* neighbors,
+              std::vector<int>* incident) {
+  // Counting pass: (*offsets)[v + 1] accumulates deg(v), then a prefix sum
+  // turns counts into slice starts.
+  offsets->assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    ++(*offsets)[e.u + 1];
+    ++(*offsets)[e.v + 1];
+  }
+  for (int v = 0; v < num_vertices; ++v) (*offsets)[v + 1] += (*offsets)[v];
+
+  // Fill pass. Edges are sorted by (u, v), so vertex w receives first its
+  // lower neighbors (from edges (u, w), u ascending) and then its higher
+  // neighbors (from edges (w, v), v ascending): every slice comes out
+  // sorted without a per-vertex sort.
+  neighbors->resize(2 * edges.size());
+  incident->resize(2 * edges.size());
+  std::vector<int> cursor(offsets->begin(), offsets->end() - 1);
+  for (int id = 0; id < static_cast<int>(edges.size()); ++id) {
+    const Edge& e = edges[id];
+    (*neighbors)[cursor[e.u]] = e.v;
+    (*incident)[cursor[e.u]++] = id;
+    (*neighbors)[cursor[e.v]] = e.u;
+    (*incident)[cursor[e.v]++] = id;
+  }
+}
+
+}  // namespace
+
+// Heap backing: the owned arrays every constructor builds into. Shared
+// (via shared_ptr) between copies of a Graph.
+struct Graph::HeapStorage {
+  std::vector<Edge> edges;
+  std::vector<int> offsets = {0};
+  std::vector<int> neighbors;
+  std::vector<int> incident;
+
+  std::size_t CapacityBytes() const {
+    return edges.capacity() * sizeof(Edge) +
+           offsets.capacity() * sizeof(int) +
+           neighbors.capacity() * sizeof(int) +
+           incident.capacity() * sizeof(int);
+  }
+};
+
+void Graph::AdoptHeapStorage(std::shared_ptr<const HeapStorage> storage) {
+  heap_bytes_ = storage->CapacityBytes();
+  mapped_bytes_ = 0;
+  edges_ = Span<const Edge>(storage->edges.data(), storage->edges.size());
+  offsets_ = Span<const int>(storage->offsets.data(), storage->offsets.size());
+  csr_neighbors_ =
+      Span<const int>(storage->neighbors.data(), storage->neighbors.size());
+  csr_incident_ =
+      Span<const int>(storage->incident.data(), storage->incident.size());
+  storage_ = std::move(storage);
+}
+
+Graph::Graph() { AdoptHeapStorage(std::make_shared<HeapStorage>()); }
+
+Graph::Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs) {
   NODEDP_CHECK_GE(num_vertices, 0);
-  edges_.reserve(edge_pairs.size());
+  std::vector<Edge> edges;
+  edges.reserve(edge_pairs.size());
   for (auto& [a, b] : edge_pairs) {
     NODEDP_CHECK_MSG(a != b, "self-loop at vertex " << a);
     NODEDP_CHECK_GE(a, 0);
@@ -20,24 +93,28 @@ Graph::Graph(int num_vertices, std::vector<std::pair<int, int>> edge_pairs)
     NODEDP_CHECK_LT(a, num_vertices);
     NODEDP_CHECK_LT(b, num_vertices);
     if (a > b) std::swap(a, b);
-    edges_.push_back(Edge{a, b});
+    edges.push_back(Edge{a, b});
   }
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-  BuildCsr();
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  *this = Graph(num_vertices, std::move(edges), SortedUniqueTag{});
 }
 
 Graph::Graph(int num_vertices, std::vector<Edge> edges, SortedUniqueTag)
-    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+    : num_vertices_(num_vertices) {
   NODEDP_CHECK_GE(num_vertices, 0);
 #ifndef NDEBUG
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    const Edge& e = edges_[i];
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
     NODEDP_DCHECK(0 <= e.u && e.u < e.v && e.v < num_vertices_);
-    NODEDP_DCHECK(i == 0 || edges_[i - 1] < e);
+    NODEDP_DCHECK(i == 0 || edges[i - 1] < e);
   }
 #endif
-  BuildCsr();
+  auto storage = std::make_shared<HeapStorage>();
+  storage->edges = std::move(edges);
+  BuildCsr(num_vertices_, storage->edges, &storage->offsets,
+           &storage->neighbors, &storage->incident);
+  AdoptHeapStorage(std::move(storage));
 }
 
 Graph Graph::FromSortedEdges(int num_vertices, std::vector<Edge> edges) {
@@ -57,30 +134,71 @@ Result<Graph> Graph::TryFromSortedEdges(std::int64_t num_vertices,
   return FromSortedEdges(static_cast<int>(num_vertices), std::move(edges));
 }
 
-void Graph::BuildCsr() {
-  // Counting pass: offsets_[v + 1] accumulates deg(v), then a prefix sum
-  // turns counts into slice starts.
-  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
-  for (const Edge& e : edges_) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
+Result<Graph> Graph::FromMmap(const std::string& path, bool verify_checksums) {
+  if (!HostIsLittleEndian()) {
+    return Status::Internal(
+        "mmap-backed graphs require a little-endian host (use the heap "
+        "reader in graph_io instead)");
   }
-  for (int v = 0; v < num_vertices_; ++v) offsets_[v + 1] += offsets_[v];
+  Result<MmapRegion> opened = MmapRegion::OpenReadOnly(path);
+  if (!opened.ok()) return opened.status();
+  auto region = std::make_shared<MmapRegion>(std::move(*opened));
+  const unsigned char* base = region->data();
+  const std::size_t file_size = region->size();
+  const Result<ndpgv2::Header> header =
+      ndpgv2::ParseHeader(base, file_size, file_size);
+  if (!header.ok()) return header.status();
+  if (verify_checksums) {
+    // One sequential pass; tell the kernel so read-ahead works for it.
+    region->AdviseSequential();
+    for (int s = 0; s < ndpgv2::kNumSections; ++s) {
+      const ndpgv2::SectionDesc& section = header->sections[s];
+      const std::uint64_t computed = ndpgv2::HashBytes(
+          base + section.offset, static_cast<std::size_t>(section.length));
+      if (computed != section.checksum) {
+        return Status::IoError(std::string("ndpg v2: section '") +
+                               ndpgv2::SectionName(s) +
+                               "' checksum mismatch");
+      }
+    }
+  }
 
-  // Fill pass. Edges are sorted by (u, v), so vertex w receives first its
-  // lower neighbors (from edges (u, w), u ascending) and then its higher
-  // neighbors (from edges (w, v), v ascending): every slice comes out
-  // sorted without a per-vertex sort.
-  csr_neighbors_.resize(2 * edges_.size());
-  csr_incident_.resize(2 * edges_.size());
-  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
-    const Edge& e = edges_[id];
-    csr_neighbors_[cursor[e.u]] = e.v;
-    csr_incident_[cursor[e.u]++] = id;
-    csr_neighbors_[cursor[e.v]] = e.u;
-    csr_incident_[cursor[e.v]++] = id;
+  const int n = static_cast<int>(header->num_vertices);
+  const std::size_t m = static_cast<std::size_t>(header->num_edges);
+  Graph g;
+  g.num_vertices_ = n;
+  g.edges_ = Span<const Edge>(
+      reinterpret_cast<const Edge*>(base +
+                                    header->sections[ndpgv2::kEdges].offset),
+      m);
+  g.offsets_ = Span<const int>(
+      reinterpret_cast<const int*>(base +
+                                   header->sections[ndpgv2::kOffsets].offset),
+      static_cast<std::size_t>(n) + 1);
+  g.csr_neighbors_ = Span<const int>(
+      reinterpret_cast<const int*>(
+          base + header->sections[ndpgv2::kNeighbors].offset),
+      2 * m);
+  g.csr_incident_ = Span<const int>(
+      reinterpret_cast<const int*>(
+          base + header->sections[ndpgv2::kIncident].offset),
+      2 * m);
+  // O(1) CSR boundary invariants — the cheap fail-closed slice of the full
+  // validation the heap reader performs (which also cross-checks every CSR
+  // entry against the edge list).
+  if (g.offsets_[0] != 0 ||
+      g.offsets_[static_cast<std::size_t>(n)] != static_cast<int>(2 * m)) {
+    return Status::IoError(
+        "ndpg v2: CSR offsets boundary invariant violated (offsets[0] = " +
+        std::to_string(g.offsets_[0]) + ", offsets[n] = " +
+        std::to_string(g.offsets_[static_cast<std::size_t>(n)]) +
+        ", expected 0 and " + std::to_string(2 * m) + ")");
   }
+  region->AdviseRandom();
+  g.heap_bytes_ = 0;
+  g.mapped_bytes_ = file_size;
+  g.storage_ = std::move(region);
+  return g;
 }
 
 int Graph::MaxDegree() const {
@@ -153,12 +271,7 @@ Result<Graph::EdgeDelta> Graph::ApplyEdgeDelta(
   return delta;
 }
 
-std::size_t Graph::MemoryBytes() const {
-  return edges_.capacity() * sizeof(Edge) +
-         offsets_.capacity() * sizeof(int) +
-         csr_neighbors_.capacity() * sizeof(int) +
-         csr_incident_.capacity() * sizeof(int);
-}
+std::size_t Graph::MemoryBytes() const { return heap_bytes_; }
 
 void GraphBuilder::ReserveEdges(int expected_edges) {
   NODEDP_CHECK_GE(expected_edges, 0);

@@ -11,21 +11,31 @@
 // stored as a sorted edge list (the LP variables of Definition 3.1 are
 // indexed by this list) plus three flat CSR arrays:
 //
-//   offsets_        n+1 prefix sums of vertex degrees
-//   csr_neighbors_  2m neighbor ids, the slice [offsets_[v], offsets_[v+1])
-//                   being the sorted neighbor list of v
-//   csr_incident_   2m edge ids, parallel to csr_neighbors_ (the id of the
-//                   edge connecting v to its k-th neighbor)
+//   offsets        n+1 prefix sums of vertex degrees
+//   csr_neighbors  2m neighbor ids, the slice [offsets[v], offsets[v+1])
+//                  being the sorted neighbor list of v
+//   csr_incident   2m edge ids, parallel to csr_neighbors (the id of the
+//                  edge connecting v to its k-th neighbor)
 //
 // Accessors hand out Span views into these arrays; there are no per-vertex
 // containers and no hash map. EdgeId(u, v) is a binary search over the
 // sorted neighbor slice of the lower-degree endpoint.
+//
+// Storage backing: the flat arrays live in a shared, immutable backing —
+// either heap vectors (every constructor) or a read-only mmap of an NDPG v2
+// file (Graph::FromMmap), whose sections are laid out as exactly these
+// arrays. Accessors are identical on both backings; copies of a Graph share
+// the backing (O(1), safe because a Graph never mutates). MemoryBytes()
+// reports resident heap bytes, MappedBytes() the mapped file bytes — a
+// mapped graph costs no heap and only the pages queries touch.
 
 #ifndef NODEDP_GRAPH_GRAPH_H_
 #define NODEDP_GRAPH_GRAPH_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -35,7 +45,9 @@
 
 namespace nodedp {
 
-// A normalized undirected edge with endpoints u < v.
+// A normalized undirected edge with endpoints u < v. The layout (two
+// 32-bit ints, u first) is also the NDPG edge record, so the edges section
+// of a mapped file is viewed directly as an Edge array.
 struct Edge {
   int u = 0;
   int v = 0;
@@ -48,6 +60,8 @@ struct Edge {
   }
 };
 
+static_assert(sizeof(Edge) == 8, "Edge must match the 8-byte NDPG record");
+
 class Graph {
  public:
   // Vertex and edge counts are int-indexed throughout the library (CSR
@@ -58,7 +72,7 @@ class Graph {
   static constexpr std::int64_t kMaxEdges = 2147483647;     // INT32_MAX
 
   // Empty graph with zero vertices.
-  Graph() = default;
+  Graph();
 
   // Builds a graph on `num_vertices` vertices from an edge list. Endpoints
   // are normalized (u < v); duplicate edges are collapsed; self-loops are
@@ -79,6 +93,24 @@ class Graph {
   static Result<Graph> TryFromSortedEdges(std::int64_t num_vertices,
                                           std::vector<Edge> edges);
 
+  // Zero-copy open of an NDPG v2 file: maps the file read-only and serves
+  // the edge list and CSR arrays straight out of the mapping — O(1) in the
+  // graph size; the kernel pages in only what queries touch (madvise
+  // MADV_RANDOM, the serving access pattern). Validation is fail-closed on
+  // everything O(1): magic, version, counts, section alignment/layout,
+  // file bounds, the header checksum, and the CSR boundary invariants.
+  // With `verify_checksums` the full per-section checksums are verified
+  // too — one sequential pass over the file, for ingestion-time audits
+  // (the heap reader in graph_io always verifies them).
+  //
+  // The mapping lives inside the returned Graph (shared by copies) and is
+  // unmapped when the last copy is destroyed. The file must stay intact
+  // for that lifetime: truncating or rewriting it in place invalidates
+  // live readers (replace files atomically via rename instead).
+  // Little-endian hosts only (refused with Internal elsewhere).
+  static Result<Graph> FromMmap(const std::string& path,
+                                bool verify_checksums = false);
+
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;
   Graph(Graph&&) = default;
@@ -88,15 +120,17 @@ class Graph {
   int NumEdges() const { return static_cast<int>(edges_.size()); }
 
   // Edge list in sorted normalized order. Index into this list is the
-  // canonical edge id used by the forest-polytope LP.
-  const std::vector<Edge>& Edges() const { return edges_; }
+  // canonical edge id used by the forest-polytope LP. A view into the
+  // shared backing, valid as long as any copy of this Graph is alive.
+  Span<const Edge> Edges() const { return edges_; }
   const Edge& EdgeAt(int edge_id) const { return edges_[edge_id]; }
 
   // Sorted neighbor list of `v`, as a view into the flat CSR array. Valid
   // as long as this Graph is alive.
   Span<const int> Neighbors(int v) const {
-    return Span<const int>(csr_neighbors_.data() + offsets_[v],
-                           static_cast<std::size_t>(SliceLength(v)));
+    return csr_neighbors_.subspan(
+        static_cast<std::size_t>(offsets_[v]),
+        static_cast<std::size_t>(SliceLength(v)));
   }
 
   int Degree(int v) const { return SliceLength(v); }
@@ -113,9 +147,16 @@ class Graph {
   // Ids of the edges incident to `v` (the set δ(v) of Definition 3.1),
   // parallel to Neighbors(v).
   Span<const int> IncidentEdgeIds(int v) const {
-    return Span<const int>(csr_incident_.data() + offsets_[v],
-                           static_cast<std::size_t>(SliceLength(v)));
+    return csr_incident_.subspan(
+        static_cast<std::size_t>(offsets_[v]),
+        static_cast<std::size_t>(SliceLength(v)));
   }
+
+  // Raw CSR views (serialization, equivalence tests): the n+1 prefix sums
+  // and the two flat 2m arrays documented at the top of this file.
+  Span<const int> CsrOffsets() const { return offsets_; }
+  Span<const int> CsrNeighbors() const { return csr_neighbors_; }
+  Span<const int> CsrIncidentEdgeIds() const { return csr_incident_; }
 
   // Result of ApplyEdgeDelta: the patched graph plus the normalized,
   // sorted list of edges that were actually new. Defined after the class
@@ -129,29 +170,46 @@ class Graph {
   // out-of-range endpoints reject the whole batch with InvalidArgument —
   // this is a data-plane entry point (serve/add_edges), so bad input must
   // refuse, not CHECK. The merge is one pass over the two sorted edge
-  // lists plus the usual CSR build: O(n + m + |batch| log |batch|).
+  // lists plus the usual CSR build: O(n + m + |batch| log |batch|). The
+  // patched graph is always heap-backed, whatever this graph's backing.
   Result<EdgeDelta> ApplyEdgeDelta(
       const std::vector<std::pair<int, int>>& inserts) const;
 
-  // Heap footprint of this graph in bytes (edge list + CSR arrays,
-  // capacity-based). Telemetry for the scale benches; not an allocator
-  // measurement.
+  // Resident heap footprint of this graph in bytes (edge list + CSR
+  // arrays, capacity-based; 0 bytes of array storage for a mapped graph).
+  // Telemetry for the scale benches; not an allocator measurement.
   std::size_t MemoryBytes() const;
+
+  // Bytes of the mapped NDPG v2 file backing this graph; 0 when
+  // heap-backed. Mapped bytes are shared, demand-paged, and evictable —
+  // the resident cost of a mapped graph is whatever subset of these pages
+  // queries have touched, not this total.
+  std::size_t MappedBytes() const { return mapped_bytes_; }
+
+  bool IsMapped() const { return mapped_bytes_ != 0; }
 
  private:
   struct SortedUniqueTag {};
+  struct HeapStorage;
+
   Graph(int num_vertices, std::vector<Edge> edges, SortedUniqueTag);
 
-  // Builds the CSR arrays from edges_ (sorted, unique, normalized).
-  void BuildCsr();
+  // Points the view spans at a freshly built heap backing.
+  void AdoptHeapStorage(std::shared_ptr<const HeapStorage> storage);
 
   int SliceLength(int v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  // The shared immutable backing (HeapStorage or MmapRegion). Never null;
+  // all the spans below point into it, so copies of a Graph share one
+  // backing and a view stays valid while any copy lives.
+  std::shared_ptr<const void> storage_;
+  std::size_t heap_bytes_ = 0;
+  std::size_t mapped_bytes_ = 0;
   int num_vertices_ = 0;
-  std::vector<Edge> edges_;
-  std::vector<int> offsets_ = {0};
-  std::vector<int> csr_neighbors_;
-  std::vector<int> csr_incident_;
+  Span<const Edge> edges_;
+  Span<const int> offsets_;
+  Span<const int> csr_neighbors_;
+  Span<const int> csr_incident_;
 };
 
 // `added` is what the incremental ExtensionFamily maintenance consumes —

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/ndpg_v2.h"
 #include "util/stringutil.h"
 
 namespace nodedp {
@@ -130,30 +131,12 @@ constexpr std::size_t kBinaryHeaderBytes = 24;
 // at 512 KiB regardless of graph size.
 constexpr std::size_t kEdgesPerChunk = 65536;
 
-// Little-endian encode/decode, independent of host byte order.
-void PutU32(unsigned char* p, std::uint32_t x) {
-  p[0] = static_cast<unsigned char>(x);
-  p[1] = static_cast<unsigned char>(x >> 8);
-  p[2] = static_cast<unsigned char>(x >> 16);
-  p[3] = static_cast<unsigned char>(x >> 24);
-}
-
-void PutU64(unsigned char* p, std::uint64_t x) {
-  PutU32(p, static_cast<std::uint32_t>(x));
-  PutU32(p + 4, static_cast<std::uint32_t>(x >> 32));
-}
-
-std::uint32_t GetU32(const unsigned char* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-std::uint64_t GetU64(const unsigned char* p) {
-  return static_cast<std::uint64_t>(GetU32(p)) |
-         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
-}
+// Little-endian encode/decode lives with the v2 layout now; both binary
+// versions share it.
+using ndpgv2::GetU32;
+using ndpgv2::GetU64;
+using ndpgv2::PutU32;
+using ndpgv2::PutU64;
 
 }  // namespace
 
@@ -310,15 +293,283 @@ Result<Graph> ReadGraphBinaryFile(const std::string& path) {
   return ReadGraphBinary(in);
 }
 
+// ---------------------------------------------------------------------------
+// Binary format v2 (mmap-servable CSR layout; see graph/ndpg_v2.h)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Streams one v2 section: little-endian encodes ints in chunks, hashing
+// exactly the bytes written so the checksum matches any later chunking.
+class SectionStream {
+ public:
+  explicit SectionStream(std::ostream& out) : out_(out) {
+    buffer_.resize(kEdgesPerChunk * 8);
+  }
+
+  void PutInt(int value) {
+    PutU32(buffer_.data() + used_, static_cast<std::uint32_t>(value));
+    used_ += 4;
+    if (used_ == buffer_.size()) Flush();
+  }
+
+  std::uint64_t Close() {
+    Flush();
+    return hash_.Finish();
+  }
+
+ private:
+  void Flush() {
+    if (used_ == 0) return;
+    hash_.Update(buffer_.data(), used_);
+    out_.write(reinterpret_cast<const char*>(buffer_.data()),
+               static_cast<std::streamsize>(used_));
+    used_ = 0;
+  }
+
+  std::ostream& out_;
+  std::vector<unsigned char> buffer_;
+  std::size_t used_ = 0;
+  ndpgv2::StreamingHash hash_;
+};
+
+Status WriteZeroPadding(std::ostream& out, std::uint64_t bytes) {
+  static const char zeros[ndpgv2::kSectionAlign] = {};
+  while (bytes > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bytes, sizeof(zeros)));
+    out.write(zeros, static_cast<std::streamsize>(chunk));
+    bytes -= chunk;
+  }
+  if (!out) return Status::IoError("binary graph v2: write failed");
+  return Status::OK();
+}
+
+// Reads exactly `bytes` into `buffer` (sized for it), failing closed on a
+// short read with a per-section truncation message.
+Status ReadSectionBytes(std::istream& in, unsigned char* buffer,
+                        std::size_t bytes, int section) {
+  in.read(reinterpret_cast<char*>(buffer),
+          static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IoError(std::string("binary graph v2: section '") +
+                           ndpgv2::SectionName(section) +
+                           "' truncated (wanted " + std::to_string(bytes) +
+                           " bytes, got " + std::to_string(in.gcount()) +
+                           ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteGraphV2(const Graph& g, std::ostream& out) {
+  const std::ostream::pos_type start = out.tellp();
+  if (start == std::ostream::pos_type(-1)) {
+    return Status::InvalidArgument(
+        "binary graph v2: writer requires a seekable stream (checksums are "
+        "patched into the header after the sections stream out)");
+  }
+  ndpgv2::Header header =
+      ndpgv2::CanonicalHeader(g.NumVertices(), g.NumEdges());
+  unsigned char encoded[ndpgv2::kHeaderBytes];
+  ndpgv2::EncodeHeader(header, encoded);  // checksums still zero
+  out.write(reinterpret_cast<const char*>(encoded), sizeof(encoded));
+
+  std::uint64_t pos = ndpgv2::kHeaderBytes;
+  for (int s = 0; s < ndpgv2::kNumSections; ++s) {
+    Status padded = WriteZeroPadding(out, header.sections[s].offset - pos);
+    if (!padded.ok()) return padded;
+    SectionStream stream(out);
+    switch (s) {
+      case ndpgv2::kEdges:
+        for (const Edge& e : g.Edges()) {
+          stream.PutInt(e.u);
+          stream.PutInt(e.v);
+        }
+        break;
+      case ndpgv2::kOffsets:
+        for (const int value : g.CsrOffsets()) stream.PutInt(value);
+        break;
+      case ndpgv2::kNeighbors:
+        for (const int value : g.CsrNeighbors()) stream.PutInt(value);
+        break;
+      case ndpgv2::kIncident:
+        for (const int value : g.CsrIncidentEdgeIds()) stream.PutInt(value);
+        break;
+    }
+    header.sections[s].checksum = stream.Close();
+    pos = header.sections[s].offset + header.sections[s].length;
+  }
+  if (!out) return Status::IoError("binary graph v2: write failed");
+
+  // Patch the header now that the section checksums are known.
+  ndpgv2::EncodeHeader(header, encoded);
+  out.seekp(start);
+  out.write(reinterpret_cast<const char*>(encoded), sizeof(encoded));
+  out.seekp(0, std::ios::end);
+  out.flush();
+  if (!out) return Status::IoError("binary graph v2: write failed");
+  return Status::OK();
+}
+
+Status WriteGraphV2File(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteGraphV2(g, out);
+}
+
+Result<Graph> ReadGraphV2(std::istream& in) {
+  const std::istream::pos_type start = in.tellg();
+  if (start == std::istream::pos_type(-1)) in.clear();
+
+  unsigned char header_bytes[ndpgv2::kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes));
+  const std::size_t header_got = static_cast<std::size_t>(in.gcount());
+
+  // When the stream is seekable the total size feeds the header's bounds
+  // checks; otherwise truncation surfaces as a short section read below.
+  std::uint64_t file_size = 0;
+  if (start != std::istream::pos_type(-1) &&
+      header_got == sizeof(header_bytes)) {
+    const std::istream::pos_type here = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1)) {
+      file_size = static_cast<std::uint64_t>(end - start);
+    }
+  }
+  if (header_got < sizeof(header_bytes)) in.clear();
+
+  const Result<ndpgv2::Header> header =
+      ndpgv2::ParseHeader(header_bytes, header_got, file_size);
+  if (!header.ok()) return header.status();
+  const std::int64_t num_vertices = header->num_vertices;
+  const std::int64_t num_edges = header->num_edges;
+
+  std::vector<unsigned char> buffer(kEdgesPerChunk * 8);
+  std::uint64_t pos = ndpgv2::kHeaderBytes;
+
+  // --- edges section: checksum over the raw bytes first, then the same
+  // content validation as the v1 reader. Buffered whole (it becomes the
+  // edge vector anyway), so corruption deterministically reports as a
+  // checksum mismatch rather than whichever invariant it happens to break.
+  std::vector<Edge> edges;
+  {
+    const ndpgv2::SectionDesc& section = header->sections[ndpgv2::kEdges];
+    Status skipped = ReadSectionBytes(
+        in, buffer.data(), static_cast<std::size_t>(section.offset - pos),
+        ndpgv2::kEdges);
+    if (!skipped.ok()) return skipped;
+    std::vector<unsigned char> raw(static_cast<std::size_t>(section.length));
+    Status read = ReadSectionBytes(in, raw.data(), raw.size(), ndpgv2::kEdges);
+    if (!read.ok()) return read;
+    if (ndpgv2::HashBytes(raw.data(), raw.size()) != section.checksum) {
+      return Status::IoError("binary graph v2: section 'edges' checksum "
+                             "mismatch");
+    }
+    edges.reserve(static_cast<std::size_t>(num_edges));
+    Edge previous{-1, -1};
+    for (std::int64_t i = 0; i < num_edges; ++i) {
+      const std::int64_t u = GetU32(raw.data() + i * 8);
+      const std::int64_t v = GetU32(raw.data() + i * 8 + 4);
+      if (u >= num_vertices || v >= num_vertices) {
+        return Status::IoError(
+            "binary graph v2: edge " + std::to_string(i) +
+            ": endpoint out of range (" + std::to_string(u) + ", " +
+            std::to_string(v) + ") with " + std::to_string(num_vertices) +
+            " vertices");
+      }
+      if (u >= v) {
+        return Status::IoError(
+            "binary graph v2: edge " + std::to_string(i) +
+            ": endpoints not in u < v order (" + std::to_string(u) + ", " +
+            std::to_string(v) + ")");
+      }
+      const Edge e{static_cast<int>(u), static_cast<int>(v)};
+      if (!(previous < e)) {
+        return Status::IoError("binary graph v2: edge " + std::to_string(i) +
+                               ": records not strictly ascending");
+      }
+      previous = e;
+      edges.push_back(e);
+    }
+    pos = section.offset + section.length;
+  }
+  Result<Graph> built = Graph::TryFromSortedEdges(num_vertices,
+                                                  std::move(edges));
+  if (!built.ok()) return built.status();
+  const Graph& g = *built;
+
+  // --- CSR sections: must be exactly the CSR of the edge list just built.
+  // A file whose stored CSR disagrees with its edge list would serve
+  // different answers via mmap than via heap load; refuse it here.
+  const Span<const int> expected[ndpgv2::kNumSections] = {
+      Span<const int>(), g.CsrOffsets(), g.CsrNeighbors(),
+      g.CsrIncidentEdgeIds()};
+  for (int s = ndpgv2::kOffsets; s < ndpgv2::kNumSections; ++s) {
+    const ndpgv2::SectionDesc& section = header->sections[s];
+    Status skipped = ReadSectionBytes(
+        in, buffer.data(), static_cast<std::size_t>(section.offset - pos),
+        s);
+    if (!skipped.ok()) return skipped;
+    ndpgv2::StreamingHash hash;
+    std::uint64_t remaining = section.length;
+    std::size_t index = 0;
+    while (remaining > 0) {
+      const std::size_t batch = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, buffer.size()));
+      Status read = ReadSectionBytes(in, buffer.data(), batch, s);
+      if (!read.ok()) return read;
+      hash.Update(buffer.data(), batch);
+      for (std::size_t b = 0; b < batch; b += 4, ++index) {
+        const int value = static_cast<int>(GetU32(buffer.data() + b));
+        if (value != expected[s][index]) {
+          return Status::IoError(
+              std::string("binary graph v2: section '") +
+              ndpgv2::SectionName(s) + "' entry " + std::to_string(index) +
+              " inconsistent with the edge list (stored " +
+              std::to_string(value) + ", rebuilt " +
+              std::to_string(expected[s][index]) + ")");
+        }
+      }
+      remaining -= batch;
+    }
+    if (hash.Finish() != section.checksum) {
+      return Status::IoError(std::string("binary graph v2: section '") +
+                             ndpgv2::SectionName(s) + "' checksum mismatch");
+    }
+    pos = section.offset + section.length;
+  }
+  return built;
+}
+
+Result<Graph> ReadGraphV2File(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadGraphV2(in);
+}
+
+Status ConvertGraphFileToV2(const std::string& in_path,
+                            const std::string& out_path) {
+  Result<Graph> g = ReadGraphAnyFile(in_path);
+  if (!g.ok()) return g.status();
+  return WriteGraphV2File(*g, out_path);
+}
+
 Result<Graph> ReadGraphAnyFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  const bool binary = in.gcount() == 4 &&
-                      std::memcmp(magic, kGraphBinaryMagic, 4) == 0;
+  unsigned char prefix[8] = {};
+  in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
+  const bool binary = in.gcount() >= 4 &&
+                      std::memcmp(prefix, kGraphBinaryMagic, 4) == 0;
+  const std::uint32_t version =
+      in.gcount() == sizeof(prefix) ? GetU32(prefix + 4) : 0;
   in.clear();
   in.seekg(0);
+  if (binary && version == kGraphBinaryVersionV2) return ReadGraphV2(in);
   if (binary) return ReadGraphBinary(in);
   return ReadEdgeList(in);
 }

@@ -1,0 +1,207 @@
+#include "graph/ndpg_v2.h"
+
+#include <cstring>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace nodedp {
+namespace ndpgv2 {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'D', 'P', 'G'};
+
+// 64-bit finalizer (murmur3-style): every input bit diffuses into every
+// output bit, so single-byte corruption anywhere in a section flips the
+// checksum with overwhelming probability.
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+const char* SectionName(int section) {
+  switch (section) {
+    case kEdges:
+      return "edges";
+    case kOffsets:
+      return "offsets";
+    case kNeighbors:
+      return "neighbors";
+    case kIncident:
+      return "incident_edge_ids";
+    default:
+      return "unknown";
+  }
+}
+
+void StreamingHash::Update(const unsigned char* data, std::size_t size) {
+  total_ += size;
+  // Drain a partial word left by a previous chunk boundary first, so the
+  // digest depends only on the byte stream, never on the chunking.
+  if (num_pending_ > 0) {
+    while (size > 0 && num_pending_ < 8) {
+      pending_[num_pending_++] = *data++;
+      --size;
+    }
+    if (num_pending_ < 8) return;
+    state_ = Mix(state_ ^ GetU64(pending_));
+    num_pending_ = 0;
+  }
+  while (size >= 8) {
+    state_ = Mix(state_ ^ GetU64(data));
+    data += 8;
+    size -= 8;
+  }
+  while (size > 0 && num_pending_ < 8) {
+    pending_[num_pending_++] = *data++;
+    --size;
+  }
+}
+
+std::uint64_t StreamingHash::Finish() const {
+  std::uint64_t h = state_;
+  if (num_pending_ > 0) {
+    std::uint64_t tail = 0;
+    for (std::size_t i = 0; i < num_pending_; ++i) {
+      tail |= static_cast<std::uint64_t>(pending_[i]) << (8 * i);
+    }
+    h = Mix(h ^ tail);
+  }
+  return Mix(h ^ total_);
+}
+
+std::uint64_t HashBytes(const void* data, std::size_t size) {
+  StreamingHash hash;
+  hash.Update(static_cast<const unsigned char*>(data), size);
+  return hash.Finish();
+}
+
+std::uint64_t ExpectedSectionLength(std::int64_t num_vertices,
+                                    std::int64_t num_edges, int section) {
+  const std::uint64_t n = static_cast<std::uint64_t>(num_vertices);
+  const std::uint64_t m = static_cast<std::uint64_t>(num_edges);
+  switch (section) {
+    case kEdges:
+      return m * 8;
+    case kOffsets:
+      return (n + 1) * 4;
+    case kNeighbors:
+    case kIncident:
+      return 2 * m * 4;
+    default:
+      return 0;
+  }
+}
+
+Header CanonicalHeader(std::int64_t num_vertices, std::int64_t num_edges) {
+  Header header;
+  header.num_vertices = num_vertices;
+  header.num_edges = num_edges;
+  std::uint64_t cursor = kHeaderBytes;
+  for (int s = 0; s < kNumSections; ++s) {
+    header.sections[s].offset = cursor;
+    header.sections[s].length =
+        ExpectedSectionLength(num_vertices, num_edges, s);
+    cursor = AlignUp(cursor + header.sections[s].length);
+  }
+  return header;
+}
+
+std::uint64_t FileSizeBytes(const Header& header) {
+  const SectionDesc& last = header.sections[kNumSections - 1];
+  return last.offset + last.length;
+}
+
+void EncodeHeader(const Header& header, unsigned char* out) {
+  std::memset(out, 0, kHeaderBytes);
+  std::memcpy(out, kMagic, 4);
+  PutU32(out + 4, kVersion);
+  PutU64(out + 8, static_cast<std::uint64_t>(header.num_vertices));
+  PutU64(out + 16, static_cast<std::uint64_t>(header.num_edges));
+  for (int s = 0; s < kNumSections; ++s) {
+    unsigned char* p = out + 24 + 24 * s;
+    PutU64(p, header.sections[s].offset);
+    PutU64(p + 8, header.sections[s].length);
+    PutU64(p + 16, header.sections[s].checksum);
+  }
+  PutU64(out + kHeaderBytes - 8, HashBytes(out, kHeaderBytes - 8));
+}
+
+Result<Header> ParseHeader(const unsigned char* data, std::size_t available,
+                           std::uint64_t file_size) {
+  if (available < kHeaderBytes) {
+    return Status::IoError("ndpg v2: truncated header (" +
+                           std::to_string(available) + " of " +
+                           std::to_string(kHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return Status::IoError("ndpg v2: bad magic (not an NDPG file)");
+  }
+  const std::uint32_t version = GetU32(data + 4);
+  if (version != kVersion) {
+    return Status::IoError("ndpg v2: unsupported format version " +
+                           std::to_string(version) + " (this reader expects " +
+                           std::to_string(kVersion) + ")");
+  }
+  // The header checksum comes before any interpretation of the counts or
+  // the section table: a corrupted header must not steer the bounds checks
+  // that are supposed to contain it.
+  const std::uint64_t stored = GetU64(data + kHeaderBytes - 8);
+  const std::uint64_t computed = HashBytes(data, kHeaderBytes - 8);
+  if (stored != computed) {
+    return Status::IoError("ndpg v2: header checksum mismatch");
+  }
+  Header header;
+  header.num_vertices = static_cast<std::int64_t>(GetU64(data + 8));
+  header.num_edges = static_cast<std::int64_t>(GetU64(data + 16));
+  if (header.num_vertices < 0 || header.num_vertices > Graph::kMaxVertices) {
+    return Status::IoError("ndpg v2: vertex count out of int range: " +
+                           std::to_string(header.num_vertices));
+  }
+  if (header.num_edges < 0 || header.num_edges > Graph::kMaxEdges) {
+    return Status::IoError("ndpg v2: edge count out of int range: " +
+                           std::to_string(header.num_edges));
+  }
+  const Header canonical =
+      CanonicalHeader(header.num_vertices, header.num_edges);
+  for (int s = 0; s < kNumSections; ++s) {
+    const unsigned char* p = data + 24 + 24 * s;
+    header.sections[s].offset = GetU64(p);
+    header.sections[s].length = GetU64(p + 8);
+    header.sections[s].checksum = GetU64(p + 16);
+    const SectionDesc& got = header.sections[s];
+    const SectionDesc& want = canonical.sections[s];
+    if (got.offset % kSectionAlign != 0) {
+      return Status::IoError(std::string("ndpg v2: section '") +
+                             SectionName(s) + "' offset " +
+                             std::to_string(got.offset) +
+                             " is not 64-byte aligned");
+    }
+    if (got.offset != want.offset || got.length != want.length) {
+      return Status::IoError(
+          std::string("ndpg v2: section '") + SectionName(s) +
+          "' has non-canonical layout (offset " + std::to_string(got.offset) +
+          " length " + std::to_string(got.length) + ", expected offset " +
+          std::to_string(want.offset) + " length " +
+          std::to_string(want.length) + ")");
+    }
+    if (file_size != 0 && got.offset + got.length > file_size) {
+      return Status::IoError(std::string("ndpg v2: section '") +
+                             SectionName(s) + "' overruns the file (needs " +
+                             std::to_string(got.offset + got.length) +
+                             " bytes, file has " + std::to_string(file_size) +
+                             ")");
+    }
+  }
+  return header;
+}
+
+}  // namespace ndpgv2
+}  // namespace nodedp

@@ -124,6 +124,31 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
     Appendf(&out, "ok loaded %s n=%d m=%d budget=%.6g warmed=%d",
             args[1].c_str(), stats->num_vertices, stats->num_edges,
             stats->budget.total, stats->family_warmed ? 1 : 0);
+  } else if (command == "load_mmap") {
+    // Zero-copy registration of an NDPG v2 file: O(1) in the graph size.
+    // No prewarm — the point is that the graph is servable immediately
+    // (approx tier touches only the pages it walks); the first exact-tier
+    // query pays the family build instead.
+    if (args.size() < 3 || args.size() > 5) {
+      out = "err usage: load_mmap <name> <path> [budget] [delta_max]";
+      return reply;
+    }
+    ServeGraphConfig config;
+    config.prewarm = false;
+    std::string error;
+    if (!ParseConfigTail(args, 3, &config, &error)) {
+      out = "err " + error;
+      return reply;
+    }
+    const Status loaded = server.LoadMmap(args[1], args[2], config);
+    if (!loaded.ok()) {
+      out = "err " + loaded.ToString();
+      return reply;
+    }
+    const auto stats = server.Stats(args[1]);
+    Appendf(&out, "ok mapped %s n=%d m=%d budget=%.6g mapped_bytes=%zu",
+            args[1].c_str(), stats->num_vertices, stats->num_edges,
+            stats->budget.total, stats->graph_mapped_bytes);
   } else if (command == "gen") {
     if (args.size() < 6 || args.size() > 8 || args[2] != "gnp") {
       out =
@@ -164,24 +189,41 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
             budget.ok() ? budget->total : config.total_epsilon);
   } else if (command == "save") {
     if (args.size() < 3 || args.size() > 4) {
-      out = "err usage: save <name> <path> [text|binary]";
+      out = "err usage: save <name> <path> [text|binary|v2]";
       return reply;
     }
-    const bool text = args.size() == 4 && args[3] == "text";
-    if (args.size() == 4 && args[3] != "text" && args[3] != "binary") {
-      out = "err save: format must be text or binary";
+    const std::string format = args.size() == 4 ? args[3] : "binary";
+    if (format != "text" && format != "binary" && format != "v2") {
+      out = "err save: format must be text, binary, or v2";
       return reply;
     }
-    const Status saved = server.Save(args[1], args[2], /*binary=*/!text);
+    const Status saved =
+        format == "v2" ? server.SaveV2(args[1], args[2])
+                       : server.Save(args[1], args[2],
+                                     /*binary=*/format == "binary");
     if (!saved.ok()) {
       out = "err " + saved.ToString();
       return reply;
     }
-    Appendf(&out, "ok saved %s %s", args[1].c_str(),
-            text ? "text" : "binary");
+    Appendf(&out, "ok saved %s %s", args[1].c_str(), format.c_str());
   } else if (command == "release_cc" || command == "release_sf") {
-    if (args.size() != 3) {
-      out = "err usage: " + command + " <name> <epsilon>";
+    // release_cc takes an optional serving tier: `tier=exact` (default)
+    // answers from the warmed Algorithm 1 family; `tier=approx` answers
+    // from the sampled sublinear estimator — no family, O(s * cutoff)
+    // work, its own (larger) noise, reported with public error bounds.
+    const bool is_cc = command == "release_cc";
+    std::string tier = "exact";
+    if (is_cc && args.size() == 4) {
+      if (args[3] == "tier=approx" || args[3] == "tier=exact") {
+        tier = args[3].substr(5);
+      } else {
+        out = "err release_cc: tier must be tier=approx or tier=exact";
+        return reply;
+      }
+    } else if (args.size() != 3) {
+      out = is_cc ? "err usage: release_cc <name> <epsilon> "
+                    "[tier=approx|tier=exact]"
+                  : "err usage: release_sf <name> <epsilon>";
       return reply;
     }
     double epsilon = 0.0;
@@ -189,7 +231,19 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
       out = "err epsilon must be a positive number";
       return reply;
     }
-    if (command == "release_cc") {
+    if (is_cc && tier == "approx") {
+      const auto release = server.ReleaseCcApprox(args[1], epsilon);
+      if (!release.ok()) {
+        out = "err " + release.status().ToString();
+        return reply;
+      }
+      Appendf(&out,
+              "ok cc=%.3f eps=%.6g tier=approx samples=%d cutoff=%d "
+              "noise=%.6g bias_le=%.6g",
+              release->estimate, epsilon, release->num_samples,
+              release->bfs_cutoff, release->laplace_scale,
+              release->truncation_bias_bound);
+    } else if (is_cc) {
       const auto release = server.ReleaseCc(args[1], epsilon);
       if (!release.ok()) {
         out = "err " + release.status().ToString();
@@ -290,13 +344,14 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
       Appendf(&out,
               "ok n=%d m=%d memory_bytes=%zu warmed=%d family_bytes=%zu "
               "answered=%lld failed=%lld spent=%.6g remaining=%.6g "
-              "lp_evals=%d fast_certs=%d cache_hits=%d",
+              "lp_evals=%d fast_certs=%d cache_hits=%d mapped_bytes=%zu",
               stats->num_vertices, stats->num_edges,
               stats->graph_memory_bytes, stats->family_warmed ? 1 : 0,
               stats->family_memory_bytes, stats->queries_answered,
               stats->queries_failed, stats->budget.spent,
               stats->budget.remaining, stats->family.lp_evaluations,
-              stats->family.fast_certificates, stats->family.cache_hits);
+              stats->family.fast_certificates, stats->family.cache_hits,
+              stats->graph_mapped_bytes);
     } else {
       out = "err usage: stats [<name>]";
     }

@@ -140,6 +140,14 @@ Status ReleaseServer::LoadFromFile(const std::string& name,
   return Load(name, std::move(graph).value(), config);
 }
 
+Status ReleaseServer::LoadMmap(const std::string& name,
+                               const std::string& path,
+                               const ServeGraphConfig& config) {
+  Result<Graph> graph = Graph::FromMmap(path);
+  if (!graph.ok()) return graph.status();
+  return Load(name, std::move(graph).value(), config);
+}
+
 Status ReleaseServer::Save(const std::string& name, const std::string& path,
                            bool binary) const {
   Result<std::shared_ptr<Entry>> found = Find(name);
@@ -150,6 +158,14 @@ Status ReleaseServer::Save(const std::string& name, const std::string& path,
   const std::shared_ptr<const Graph> graph = GraphSnapshot(**found);
   if (binary) return WriteGraphBinaryFile(*graph, path);
   return WriteEdgeListFile(*graph, path);
+}
+
+Status ReleaseServer::SaveV2(const std::string& name,
+                             const std::string& path) const {
+  Result<std::shared_ptr<Entry>> found = Find(name);
+  if (!found.ok()) return found.status();
+  const std::shared_ptr<const Graph> graph = GraphSnapshot(**found);
+  return WriteGraphV2File(*graph, path);
 }
 
 Status ReleaseServer::Evict(const std::string& name) {
@@ -308,7 +324,8 @@ Rng ReleaseServer::SplitRng() {
 
 Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
                                                      double epsilon_total,
-                                                     std::string label) {
+                                                     std::string label,
+                                                     bool need_family) {
   Result<std::shared_ptr<Entry>> found = Find(name);
   if (!found.ok()) return found.status();
   Admitted admitted;
@@ -350,12 +367,14 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
     // order), so the k-th ledger entry always carries the k-th stream.
     admitted.child = SplitRng();
   }
-  Result<std::shared_ptr<ExtensionFamily>> family = FamilyFor(entry);
-  if (!family.ok()) {
-    RecordOutcome(entry, /*ok=*/false, 0);
-    return family.status();
+  if (need_family) {
+    Result<std::shared_ptr<ExtensionFamily>> family = FamilyFor(entry);
+    if (!family.ok()) {
+      RecordOutcome(entry, /*ok=*/false, 0);
+      return family.status();
+    }
+    admitted.family = std::move(*family);
   }
-  admitted.family = std::move(*family);
   return admitted;
 }
 
@@ -376,6 +395,26 @@ Result<ConnectedComponentsRelease> ReleaseServer::ReleaseCc(
   Result<ConnectedComponentsRelease> release = PrivateConnectedComponents(
       *admitted->family, epsilon, admitted->child,
       admitted->entry->config.release);
+  RecordOutcome(*admitted->entry, release.ok(), 1);
+  return release;
+}
+
+Result<SublinearCcRelease> ReleaseServer::ReleaseCcApprox(
+    const std::string& name, double epsilon) {
+  Result<Admitted> admitted =
+      Admit(name, epsilon, "release_cc_approx eps=" + FormatEpsilon(epsilon),
+            /*need_family=*/false);
+  if (!admitted.ok()) return admitted.status();
+  // The snapshot pins the graph (possibly its mmap) across the sampling
+  // pass even if an update swaps it mid-query.
+  const std::shared_ptr<const Graph> graph =
+      GraphSnapshot(*admitted->entry);
+  PrivateSublinearCcOptions options = admitted->entry->config.approx;
+  if (options.delta_max <= 0) {
+    options.delta_max = admitted->entry->config.release.delta_max;
+  }
+  Result<SublinearCcRelease> release =
+      PrivateSublinearCc(*graph, epsilon, admitted->child, options);
   RecordOutcome(*admitted->entry, release.ok(), 1);
   return release;
 }
@@ -458,6 +497,7 @@ Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
   stats.num_vertices = entry.graph->NumVertices();
   stats.num_edges = entry.graph->NumEdges();
   stats.graph_memory_bytes = entry.graph->MemoryBytes();
+  stats.graph_mapped_bytes = entry.graph->MappedBytes();
   stats.family_warmed = family != nullptr;
   stats.queries_answered = entry.queries_answered;
   stats.queries_failed = entry.queries_failed;

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/private_cc.h"
+#include "core/sublinear_cc.h"
 #include "serve/budget_ledger.h"
 #include "serve/family_cache.h"
 #include "serve/ledger_wal.h"
@@ -66,6 +67,10 @@ struct ServeGraphConfig {
   // data-independent public constant (e.g. a degree cap); <= 0 means the
   // paper's default of n.
   PrivateCcOptions release;
+  // Approx-tier knobs (ReleaseCcApprox / `release_cc ... tier=approx`).
+  // approx.delta_max <= 0 inherits release.delta_max, so one degree
+  // promise governs both tiers unless explicitly overridden.
+  PrivateSublinearCcOptions approx;
   // Build and warm the extension family at load time (recommended: makes
   // load the expensive step and every query cheap). When false the first
   // query pays for construction.
@@ -96,7 +101,9 @@ struct UpdateReport {
 struct ServeGraphStats {
   int num_vertices = 0;
   int num_edges = 0;
-  std::size_t graph_memory_bytes = 0;
+  std::size_t graph_memory_bytes = 0;  // resident heap bytes
+  // Bytes of the NDPG v2 file mmap-backing the graph; 0 when heap-loaded.
+  std::size_t graph_mapped_bytes = 0;
   bool family_warmed = false;  // family resident in the cache (or warming)
   std::size_t family_memory_bytes = 0;  // 0 until the family is resident
   long long queries_answered = 0;
@@ -144,17 +151,32 @@ class ReleaseServer {
   Status Load(const std::string& name, Graph g,
               const ServeGraphConfig& config = {});
 
-  // Load() from a graph file — binary (NDPG) or text edge list, sniffed by
-  // magic bytes (graph_io.h).
+  // Load() from a graph file — binary (NDPG v1/v2) or text edge list,
+  // sniffed by magic bytes (graph_io.h). Always heap-loads (full
+  // validation, one pass over the file); see LoadMmap for zero-copy.
   Status LoadFromFile(const std::string& name, const std::string& path,
                       const ServeGraphConfig& config = {});
 
-  // Writes a registered graph back out — binary NDPG when `binary`, text
-  // edge list otherwise. The ops path for converting text corpora to the
-  // binary ingestion format. (The graph structure is the private database;
-  // saving it is an operator action, not a release.)
+  // Zero-copy registration of an NDPG v2 file via Graph::FromMmap: O(1) in
+  // the graph size, so a 10M-vertex graph is servable milliseconds after
+  // the call. The approx tier (ReleaseCcApprox) touches only the pages its
+  // truncated BFS walks; exact-tier queries work too but page in whatever
+  // the family build reads (pass config.prewarm = false to keep the load
+  // itself O(1)). The file must stay intact while the graph is registered
+  // (see Graph::FromMmap).
+  Status LoadMmap(const std::string& name, const std::string& path,
+                  const ServeGraphConfig& config = {});
+
+  // Writes a registered graph back out — binary NDPG v1 when `binary`,
+  // text edge list otherwise. The ops path for converting text corpora to
+  // the binary ingestion format. (The graph structure is the private
+  // database; saving it is an operator action, not a release.)
   Status Save(const std::string& name, const std::string& path,
               bool binary = true) const;
+
+  // Writes a registered graph in NDPG v2 (the mmap-servable CSR layout) —
+  // the ops path for preparing LoadMmap inputs.
+  Status SaveV2(const std::string& name, const std::string& path) const;
 
   // Unregisters the graph and drops its cached family. In-flight queries
   // against it finish normally.
@@ -196,6 +218,17 @@ class ReleaseServer {
   // Same for the spanning-forest size (Algorithm 1).
   Result<SpanningForestRelease> ReleaseSf(const std::string& name,
                                           double epsilon);
+
+  // Approx-tier release: the sampled truncated-component-count surrogate
+  // (core/sublinear_cc.h, PrivateSublinearCc) instead of Algorithm 1.
+  // Charges `epsilon` to the same ledger as the exact tier (composition
+  // does not care which mechanism spent it) but needs no warmed family and
+  // touches O(s * cutoff) vertices — the serving path for mmap-backed
+  // graphs too large to warm. The release reports its own sensitivity and
+  // public error bounds; config.approx configures it (delta_max inheriting
+  // config.release.delta_max when unset).
+  Result<SublinearCcRelease> ReleaseCcApprox(const std::string& name,
+                                             double epsilon);
 
   // Releases f_cc at every ε in `epsilons` against the one warmed family.
   // Admission is all-or-nothing: one ledger charge of Σ ε_i, refused
@@ -270,9 +303,11 @@ class ReleaseServer {
   // The shared front half of every query: find the graph, charge
   // `epsilon_total` under `label` (refusing on budget exhaustion), split
   // the child stream atomically with the charge, then resolve the warmed
-  // family (built on first use, outside all server locks).
+  // family (built on first use, outside all server locks). The approx
+  // tier passes need_family = false: it runs on the graph alone, so
+  // admission never triggers (or waits on) a family build.
   Result<Admitted> Admit(const std::string& name, double epsilon_total,
-                         std::string label);
+                         std::string label, bool need_family = true);
 
   // The Δ grid the family is warmed with (the Algorithm 1 access pattern).
   static std::vector<double> WarmGrid(const Graph& graph,

@@ -1,0 +1,155 @@
+// Mmap-vs-heap equivalence: a Graph opened zero-copy from an NDPG v2 file
+// must be indistinguishable from the heap-built original — bit-identical
+// edge list, CSR arrays, and accessor results, all the way up through
+// ExtensionFamily Values() tables (the serving payload). If this holds,
+// `load` and `load_mmap` are interchangeable for every query path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/extension_family.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+std::string TestPath(const std::string& leaf) {
+  return testing::TempDir() + "/" + leaf;
+}
+
+Graph RandomGraph(int trial, Rng& rng) {
+  const int n = 2 + static_cast<int>(rng.NextUint64(120));
+  switch (trial % 3) {
+    case 0:
+      return gen::ErdosRenyi(n, 2.5 / n, rng);
+    case 1:
+      return gen::RandomEntityGraph(n, 3, rng);
+    default:
+      return gen::RandomGeometric(n, 0.08, rng);
+  }
+}
+
+void ExpectStructurallyIdentical(const Graph& heap, const Graph& mapped,
+                                 int trial) {
+  ASSERT_EQ(heap.NumVertices(), mapped.NumVertices()) << "trial " << trial;
+  ASSERT_EQ(heap.NumEdges(), mapped.NumEdges()) << "trial " << trial;
+  EXPECT_FALSE(heap.IsMapped());
+  EXPECT_TRUE(mapped.IsMapped());
+  EXPECT_GT(mapped.MappedBytes(), 0u);
+
+  const auto same_ints = [&](Span<const int> a, Span<const int> b,
+                             const char* what) {
+    ASSERT_EQ(a.size(), b.size()) << what << " trial " << trial;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << what << "[" << i << "] trial " << trial;
+    }
+  };
+  same_ints(heap.CsrOffsets(), mapped.CsrOffsets(), "offsets");
+  same_ints(heap.CsrNeighbors(), mapped.CsrNeighbors(), "neighbors");
+  same_ints(heap.CsrIncidentEdgeIds(), mapped.CsrIncidentEdgeIds(),
+            "incident");
+  for (int e = 0; e < heap.NumEdges(); ++e) {
+    ASSERT_EQ(heap.EdgeAt(e), mapped.EdgeAt(e)) << "edge " << e;
+  }
+  for (int v = 0; v < heap.NumVertices(); ++v) {
+    ASSERT_EQ(heap.Degree(v), mapped.Degree(v)) << "vertex " << v;
+    same_ints(heap.Neighbors(v), mapped.Neighbors(v), "nbr slice");
+    same_ints(heap.IncidentEdgeIds(v), mapped.IncidentEdgeIds(v),
+              "inc slice");
+  }
+}
+
+TEST(MmapEquivalenceTest, RandomizedStructuralEquivalence) {
+  const std::string path = TestPath("mmap_equiv_struct.ndpg2");
+  Rng rng(7300);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph heap = RandomGraph(trial, rng);
+    ASSERT_TRUE(WriteGraphV2File(heap, path).ok()) << "trial " << trial;
+    const Result<Graph> mapped =
+        Graph::FromMmap(path, /*verify_checksums=*/(trial % 4 == 0));
+    ASSERT_TRUE(mapped.ok()) << "trial " << trial << ": "
+                             << mapped.status().ToString();
+    ExpectStructurallyIdentical(heap, *mapped, trial);
+
+    // Derived structure built from accessor views: induced subgraphs.
+    std::vector<int> subset;
+    for (int v = 0; v < heap.NumVertices(); v += 2) subset.push_back(v);
+    const InducedSubgraph a = Induce(heap, subset);
+    const InducedSubgraph b = Induce(*mapped, subset);
+    ASSERT_EQ(a.graph.NumEdges(), b.graph.NumEdges()) << "trial " << trial;
+    for (int e = 0; e < a.graph.NumEdges(); ++e) {
+      ASSERT_EQ(a.graph.EdgeAt(e), b.graph.EdgeAt(e)) << "trial " << trial;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapEquivalenceTest, ExtensionFamilyValuesBitIdentical) {
+  // The end-to-end claim behind tiered serving: the whole deterministic
+  // pipeline (family construction, LP warm, Values tables) produces
+  // bit-identical doubles on a mapped graph and its heap twin.
+  const std::string path = TestPath("mmap_equiv_family.ndpg2");
+  const std::vector<double> grid = {1.0, 2.0, 4.0, 8.0};
+  Rng rng(7301);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph heap = RandomGraph(trial, rng);
+    ASSERT_TRUE(WriteGraphV2File(heap, path).ok()) << "trial " << trial;
+    const Result<Graph> mapped = Graph::FromMmap(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+    ExtensionFamily heap_family(heap);
+    ExtensionFamily mapped_family(*mapped);
+    const auto heap_values = heap_family.Values(grid);
+    const auto mapped_values = mapped_family.Values(grid);
+    ASSERT_TRUE(heap_values.ok()) << heap_values.status().ToString();
+    ASSERT_TRUE(mapped_values.ok()) << mapped_values.status().ToString();
+    EXPECT_EQ(*heap_values, *mapped_values) << "trial " << trial;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapEquivalenceTest, CopiesShareTheMapping) {
+  const std::string path = TestPath("mmap_equiv_copy.ndpg2");
+  Rng rng(7302);
+  const Graph heap = gen::ErdosRenyi(80, 0.05, rng);
+  ASSERT_TRUE(WriteGraphV2File(heap, path).ok());
+  Graph copy;
+  {
+    const Result<Graph> mapped = Graph::FromMmap(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    copy = *mapped;  // shares the mapping; original goes out of scope
+  }
+  // The mapping must outlive the original Graph object.
+  EXPECT_TRUE(copy.IsMapped());
+  EXPECT_EQ(copy.NumEdges(), heap.NumEdges());
+  int degree_sum = 0;
+  for (int v = 0; v < copy.NumVertices(); ++v) {
+    degree_sum += static_cast<int>(copy.Neighbors(v).size());
+  }
+  EXPECT_EQ(degree_sum, 2 * heap.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(MmapEquivalenceTest, MappedGraphReportsNoHeapArrayBytes) {
+  const std::string path = TestPath("mmap_equiv_bytes.ndpg2");
+  Rng rng(7303);
+  const Graph heap = gen::ErdosRenyi(200, 0.03, rng);
+  ASSERT_TRUE(WriteGraphV2File(heap, path).ok());
+  const Result<Graph> mapped = Graph::FromMmap(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_GT(heap.MemoryBytes(), 0u);
+  EXPECT_EQ(heap.MappedBytes(), 0u);
+  EXPECT_EQ(mapped->MemoryBytes(), 0u);
+  EXPECT_GT(mapped->MappedBytes(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nodedp

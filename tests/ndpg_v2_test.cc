@@ -1,0 +1,343 @@
+// NDPG v2 format tests: writer/reader round trips, the any-file dispatcher
+// and converter, and — the bulk of this file — the fail-closed error
+// paths: truncation at every level, bad magic, version confusion in both
+// directions, payload corruption against the section checksums, and
+// header tampering against the layout validation and header checksum.
+
+#include "graph/ndpg_v2.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "util/random.h"
+
+namespace nodedp {
+namespace {
+
+std::string TestPath(const std::string& leaf) {
+  return testing::TempDir() + "/" + leaf;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Re-stamps the header checksum (bytes 120..127) after a deliberate header
+// edit, so tests can distinguish "layout validation rejected the tampered
+// header" from "the checksum caught the edit".
+void RestampHeaderChecksum(std::string& bytes) {
+  ASSERT_GE(bytes.size(), ndpgv2::kHeaderBytes);
+  unsigned char* data = reinterpret_cast<unsigned char*>(&bytes[0]);
+  ndpgv2::PutU64(data + 120, ndpgv2::HashBytes(data, 120));
+}
+
+Graph TestGraph() {
+  Rng rng(4202);
+  return gen::ErdosRenyi(60, 0.08, rng);
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (int e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeAt(e), b.EdgeAt(e)) << "edge " << e;
+  }
+}
+
+TEST(StreamingHashTest, ChunkingIndependent) {
+  const std::string payload =
+      "a moderately sized payload, long enough to cross word boundaries";
+  const auto* data = reinterpret_cast<const unsigned char*>(payload.data());
+  const std::uint64_t whole = ndpgv2::HashBytes(data, payload.size());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{8},
+                                  std::size_t{13}}) {
+    ndpgv2::StreamingHash hash;
+    for (std::size_t i = 0; i < payload.size(); i += chunk) {
+      hash.Update(data + i, std::min(chunk, payload.size() - i));
+    }
+    EXPECT_EQ(hash.Finish(), whole) << "chunk " << chunk;
+  }
+}
+
+TEST(StreamingHashTest, LengthAndContentSensitive) {
+  const unsigned char a[4] = {1, 2, 3, 4};
+  const unsigned char b[4] = {1, 2, 3, 5};
+  EXPECT_NE(ndpgv2::HashBytes(a, 4), ndpgv2::HashBytes(b, 4));
+  EXPECT_NE(ndpgv2::HashBytes(a, 3), ndpgv2::HashBytes(a, 4));
+  EXPECT_NE(ndpgv2::HashBytes(a, 0), ndpgv2::HashBytes(b, 1));
+}
+
+TEST(NdpgV2Test, RoundTripStream) {
+  const Graph g = TestGraph();
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphV2(g, stream).ok());
+  const Result<Graph> back = ReadGraphV2(stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameGraph(g, *back);
+}
+
+TEST(NdpgV2Test, RoundTripFile) {
+  const Graph g = TestGraph();
+  const std::string path = TestPath("ndpg_v2_roundtrip.ndpg2");
+  ASSERT_TRUE(WriteGraphV2File(g, path).ok());
+  const Result<Graph> back = ReadGraphV2File(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameGraph(g, *back);
+  std::remove(path.c_str());
+}
+
+TEST(NdpgV2Test, RoundTripEdgeless) {
+  const Graph g(5, {});
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphV2(g, stream).ok());
+  const Result<Graph> back = ReadGraphV2(stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumVertices(), 5);
+  EXPECT_EQ(back->NumEdges(), 0);
+}
+
+TEST(NdpgV2Test, FileSizeMatchesHeaderArithmetic) {
+  const Graph g = TestGraph();
+  const std::string path = TestPath("ndpg_v2_size.ndpg2");
+  ASSERT_TRUE(WriteGraphV2File(g, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const ndpgv2::Header header =
+      ndpgv2::CanonicalHeader(g.NumVertices(), g.NumEdges());
+  EXPECT_EQ(bytes.size(), ndpgv2::FileSizeBytes(header));
+  // Every section starts 64-byte aligned.
+  const Result<ndpgv2::Header> parsed = ndpgv2::ParseHeader(
+      reinterpret_cast<const unsigned char*>(bytes.data()),
+      bytes.size(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (int s = 0; s < ndpgv2::kNumSections; ++s) {
+    EXPECT_EQ(parsed->sections[s].offset % ndpgv2::kSectionAlign, 0u);
+    EXPECT_EQ(parsed->sections[s].length,
+              ndpgv2::ExpectedSectionLength(g.NumVertices(), g.NumEdges(), s));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NdpgV2Test, ConvertFromV1AndText) {
+  const Graph g = TestGraph();
+  const std::string v1_path = TestPath("ndpg_v2_convert_in.ndpg");
+  const std::string text_path = TestPath("ndpg_v2_convert_in.txt");
+  const std::string out_path = TestPath("ndpg_v2_convert_out.ndpg2");
+  ASSERT_TRUE(WriteGraphBinaryFile(g, v1_path).ok());
+  ASSERT_TRUE(WriteEdgeListFile(g, text_path).ok());
+  for (const std::string& in_path : {v1_path, text_path}) {
+    ASSERT_TRUE(ConvertGraphFileToV2(in_path, out_path).ok()) << in_path;
+    const Result<Graph> back = ReadGraphV2File(out_path);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ExpectSameGraph(g, *back);
+  }
+  std::remove(v1_path.c_str());
+  std::remove(text_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(NdpgV2Test, AnyFileDispatchesAllThreeFormats) {
+  const Graph g = TestGraph();
+  const std::string text_path = TestPath("ndpg_v2_any.txt");
+  const std::string v1_path = TestPath("ndpg_v2_any.ndpg");
+  const std::string v2_path = TestPath("ndpg_v2_any.ndpg2");
+  ASSERT_TRUE(WriteEdgeListFile(g, text_path).ok());
+  ASSERT_TRUE(WriteGraphBinaryFile(g, v1_path).ok());
+  ASSERT_TRUE(WriteGraphV2File(g, v2_path).ok());
+  for (const std::string& path : {text_path, v1_path, v2_path}) {
+    const Result<Graph> back = ReadGraphAnyFile(path);
+    ASSERT_TRUE(back.ok()) << path << ": " << back.status().ToString();
+    ExpectSameGraph(g, *back);
+    std::remove(path.c_str());
+  }
+}
+
+// --- error paths -----------------------------------------------------------
+
+class NdpgV2ErrorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("ndpg_v2_error.ndpg2");
+    graph_ = TestGraph();
+    ASSERT_TRUE(WriteGraphV2File(graph_, path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    const Result<ndpgv2::Header> header = ndpgv2::ParseHeader(
+        reinterpret_cast<const unsigned char*>(bytes_.data()),
+        bytes_.size(), bytes_.size());
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
+    header_ = *header;
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Overwrites the file with `bytes` and expects the heap reader to reject
+  // it with `expect_substring` somewhere in the error message.
+  void ExpectReadFails(const std::string& bytes,
+                       const std::string& expect_substring) {
+    WriteFileBytes(path_, bytes);
+    const Result<Graph> read = ReadGraphV2File(path_);
+    ASSERT_FALSE(read.ok()) << "expected failure: " << expect_substring;
+    EXPECT_NE(read.status().message().find(expect_substring),
+              std::string::npos)
+        << "wanted \"" << expect_substring << "\" in \""
+        << read.status().message() << "\"";
+    // FromMmap with full verification must reject the same file — the
+    // zero-copy path may not be more permissive than the heap reader.
+    EXPECT_FALSE(Graph::FromMmap(path_, /*verify_checksums=*/true).ok());
+  }
+
+  std::string path_;
+  Graph graph_;
+  std::string bytes_;
+  ndpgv2::Header header_;
+};
+
+TEST_F(NdpgV2ErrorTest, TruncatedHeader) {
+  ExpectReadFails(bytes_.substr(0, 64), "truncated");
+}
+
+TEST_F(NdpgV2ErrorTest, TruncatedSection) {
+  // Cut mid-way through the last section (incident edge ids). With a
+  // seekable file the O(1) bounds check reports the overrun up front; a
+  // non-seekable stream discovers it as a short section read. Both are
+  // fail-closed.
+  const std::size_t cut =
+      static_cast<std::size_t>(header_.sections[ndpgv2::kIncident].offset) +
+      static_cast<std::size_t>(
+          header_.sections[ndpgv2::kIncident].length / 2);
+  ExpectReadFails(bytes_.substr(0, cut), "overruns the file");
+
+  std::stringstream stream(bytes_.substr(0, cut),
+                           std::ios::in | std::ios::out | std::ios::binary);
+  const Result<Graph> read = ReadGraphV2(stream);
+  ASSERT_FALSE(read.ok());
+}
+
+TEST_F(NdpgV2ErrorTest, BadMagic) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  ExpectReadFails(bad, "magic");
+}
+
+TEST_F(NdpgV2ErrorTest, V1FileRejectedByV2Reader) {
+  ASSERT_TRUE(WriteGraphBinaryFile(graph_, path_).ok());
+  const Result<Graph> read = ReadGraphV2File(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("version"), std::string::npos)
+      << read.status().message();
+}
+
+TEST_F(NdpgV2ErrorTest, V2FileRejectedByV1Reader) {
+  const Result<Graph> read = ReadGraphBinaryFile(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("version"), std::string::npos)
+      << read.status().message();
+}
+
+TEST_F(NdpgV2ErrorTest, HeaderChecksumCatchesCountTampering) {
+  // Bump num_edges without restamping: the header checksum must catch it
+  // before the counts are interpreted at all.
+  std::string bad = bytes_;
+  unsigned char* data = reinterpret_cast<unsigned char*>(&bad[0]);
+  ndpgv2::PutU64(data + 16,
+                 static_cast<std::uint64_t>(header_.num_edges + 1));
+  ExpectReadFails(bad, "checksum");
+}
+
+TEST_F(NdpgV2ErrorTest, EdgesPayloadCorruptionCaughtByChecksum) {
+  // Flip one byte inside the edges payload. The reader hashes the section
+  // before decoding it, so this deterministically reports a checksum
+  // mismatch rather than whatever the decoded garbage would trip over.
+  std::string bad = bytes_;
+  const std::size_t target =
+      static_cast<std::size_t>(header_.sections[ndpgv2::kEdges].offset) + 2;
+  bad[target] = static_cast<char>(bad[target] ^ 0x40);
+  ExpectReadFails(bad, "checksum mismatch");
+}
+
+TEST_F(NdpgV2ErrorTest, CsrPayloadCorruptionFailsClosed) {
+  // Corrupt a neighbors entry: the stored CSR no longer matches the CSR
+  // rebuilt from the edge list (and its checksum no longer matches either
+  // — whichever fires first, the file must be rejected).
+  std::string bad = bytes_;
+  const std::size_t target = static_cast<std::size_t>(
+      header_.sections[ndpgv2::kNeighbors].offset);
+  bad[target] = static_cast<char>(bad[target] ^ 0x01);
+  WriteFileBytes(path_, bad);
+  EXPECT_FALSE(ReadGraphV2File(path_).ok());
+  EXPECT_FALSE(Graph::FromMmap(path_, /*verify_checksums=*/true).ok());
+}
+
+TEST_F(NdpgV2ErrorTest, MisalignedSectionOffsetRejected) {
+  // Shift the neighbors section descriptor off 64-byte alignment and
+  // restamp the header checksum — layout validation itself must refuse.
+  std::string bad = bytes_;
+  unsigned char* data = reinterpret_cast<unsigned char*>(&bad[0]);
+  const std::size_t desc = 24 + 24 * static_cast<std::size_t>(
+                                         ndpgv2::kNeighbors);
+  ndpgv2::PutU64(data + desc,
+                 header_.sections[ndpgv2::kNeighbors].offset + 4);
+  RestampHeaderChecksum(bad);
+  ExpectReadFails(bad, "aligned");
+}
+
+TEST_F(NdpgV2ErrorTest, NonCanonicalSectionOrderRejected) {
+  // Swap the offsets of two section descriptors (both stay aligned) and
+  // restamp: the canonical-layout check must refuse.
+  std::string bad = bytes_;
+  unsigned char* data = reinterpret_cast<unsigned char*>(&bad[0]);
+  const std::size_t desc_a = 24 + 24 * static_cast<std::size_t>(
+                                          ndpgv2::kOffsets);
+  const std::size_t desc_b = 24 + 24 * static_cast<std::size_t>(
+                                          ndpgv2::kNeighbors);
+  ndpgv2::PutU64(data + desc_a,
+                 header_.sections[ndpgv2::kNeighbors].offset);
+  ndpgv2::PutU64(data + desc_b,
+                 header_.sections[ndpgv2::kOffsets].offset);
+  RestampHeaderChecksum(bad);
+  WriteFileBytes(path_, bad);
+  EXPECT_FALSE(ReadGraphV2File(path_).ok());
+  EXPECT_FALSE(Graph::FromMmap(path_).ok());
+}
+
+TEST_F(NdpgV2ErrorTest, SectionOverrunningFileRejected) {
+  // Inflate the incident section length past end-of-file and restamp.
+  std::string bad = bytes_;
+  unsigned char* data = reinterpret_cast<unsigned char*>(&bad[0]);
+  const std::size_t desc = 24 + 24 * static_cast<std::size_t>(
+                                         ndpgv2::kIncident);
+  ndpgv2::PutU64(data + desc + 8,
+                 header_.sections[ndpgv2::kIncident].length + 4096);
+  RestampHeaderChecksum(bad);
+  WriteFileBytes(path_, bad);
+  // The length is also non-canonical for the counts, so the heap reader
+  // and the O(1) mmap validation both refuse.
+  EXPECT_FALSE(ReadGraphV2File(path_).ok());
+  EXPECT_FALSE(Graph::FromMmap(path_).ok());
+}
+
+TEST_F(NdpgV2ErrorTest, MmapMissingFileFails) {
+  EXPECT_FALSE(Graph::FromMmap(TestPath("ndpg_v2_does_not_exist")).ok());
+}
+
+}  // namespace
+}  // namespace nodedp

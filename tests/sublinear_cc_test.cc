@@ -88,5 +88,111 @@ TEST(SublinearCcDeathTest, InvalidOptions) {
                "CHECK failed");
 }
 
+// --- the private approx tier (PrivateSublinearCc) --------------------------
+
+TEST(PrivateSublinearCcTest, RejectsBadArguments) {
+  Rng rng(1700);
+  const Graph g = gen::Path(10);
+  EXPECT_FALSE(PrivateSublinearCc(g, 0.0, rng).ok());
+  EXPECT_FALSE(PrivateSublinearCc(g, -1.0, rng).ok());
+  PrivateSublinearCcOptions bad;
+  bad.bfs_cutoff = 0;
+  EXPECT_FALSE(PrivateSublinearCc(g, 1.0, rng, bad).ok());
+  bad = {};
+  bad.num_samples = -1;
+  EXPECT_FALSE(PrivateSublinearCc(g, 1.0, rng, bad).ok());
+}
+
+TEST(PrivateSublinearCcTest, EmptyGraph) {
+  Rng rng(1701);
+  const auto release = PrivateSublinearCc(Graph(), 1.0, rng);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  EXPECT_EQ(release->raw_estimate, 0.0);
+}
+
+TEST(PrivateSublinearCcTest, ExactPassWhenSampleBudgetCoversGraph) {
+  // Small n and a public degree cap: the auto sample budget s = T(Δ*+2)
+  // exceeds n/2, so the implementation takes the exact F_T pass — zero
+  // sampling error and a deterministic raw estimate equal to the number of
+  // components of size <= T (here: all of them).
+  Rng rng(1702);
+  const Graph g = gen::CliqueUnion({3, 3, 3, 2, 1});
+  const double truth = CountConnectedComponents(g);
+  PrivateSublinearCcOptions options;
+  options.delta_max = 4;
+  options.bfs_cutoff = 16;
+  const auto release = PrivateSublinearCc(g, 1.0, rng, options);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  EXPECT_TRUE(release->exact_ft);
+  EXPECT_DOUBLE_EQ(release->raw_estimate, truth);
+  EXPECT_EQ(release->sampling_error_bound, 0.0);
+  // Exact pass: s = n in the sensitivity formula 1 + (n/s)(Δ* + 2).
+  EXPECT_DOUBLE_EQ(release->sensitivity, 1.0 + (4.0 + 2.0));
+  EXPECT_DOUBLE_EQ(release->laplace_scale, release->sensitivity / 1.0);
+}
+
+TEST(PrivateSublinearCcTest, SensitivityFormulaUnderSampling) {
+  // Large n, tight cutoff and degree cap: the sampling path. The Laplace
+  // scale must be exactly (1 + (n/s)(Δ* + 2)) / ε — the without-replacement
+  // sensitivity bound the docs derive.
+  Rng rng(1703);
+  const Graph g = gen::Path(2000);
+  PrivateSublinearCcOptions options;
+  options.delta_max = 2;
+  options.bfs_cutoff = 4;
+  const double eps = 0.5;
+  const auto release = PrivateSublinearCc(g, eps, rng, options);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  EXPECT_FALSE(release->exact_ft);
+  const double n = 2000.0;
+  const double s = release->num_samples;
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, (n + 1) / 2);
+  EXPECT_DOUBLE_EQ(release->sensitivity, 1.0 + (n / s) * (2.0 + 2.0));
+  EXPECT_DOUBLE_EQ(release->laplace_scale, release->sensitivity / eps);
+  EXPECT_DOUBLE_EQ(release->truncation_bias_bound, n / 4.0);
+}
+
+TEST(PrivateSublinearCcTest, EmpiricalErrorWithinCalibratedScale) {
+  // Empirical audit of the calibration: on the exact path the error is pure
+  // Laplace noise at the reported scale, so the median absolute error over
+  // many trials concentrates near scale * ln 2.
+  Rng rng(1704);
+  const Graph g = gen::CliqueUnion({4, 4, 4, 4, 3, 3, 2, 1});
+  const double truth = CountConnectedComponents(g);
+  PrivateSublinearCcOptions options;
+  options.delta_max = 4;
+  options.bfs_cutoff = 8;
+  std::vector<double> errors;
+  double scale = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const auto release = PrivateSublinearCc(g, 1.0, rng, options);
+    ASSERT_TRUE(release.ok());
+    ASSERT_TRUE(release->exact_ft);
+    scale = release->laplace_scale;
+    errors.push_back(release->estimate - truth);
+  }
+  const double median_abs = SummarizeErrors(errors).median_abs;
+  EXPECT_GT(median_abs, 0.0);
+  EXPECT_LT(median_abs, 4.0 * scale);
+}
+
+TEST(PrivateSublinearCcTest, RawEstimateRespectsTruncationBiasBound) {
+  // Giant component beyond the cutoff: F_T undercounts by at most n/T.
+  Rng rng(1705);
+  const Graph g = gen::DisjointUnion({gen::Path(300), gen::Empty(50)});
+  const double truth = CountConnectedComponents(g);  // 51
+  PrivateSublinearCcOptions options;
+  options.delta_max = 2;
+  options.bfs_cutoff = 16;
+  options.num_samples = 400;  // >= (n+1)/2 -> exact pass
+  const auto release = PrivateSublinearCc(g, 1.0, rng, options);
+  ASSERT_TRUE(release.ok());
+  ASSERT_TRUE(release->exact_ft);
+  EXPECT_LE(release->raw_estimate, truth);
+  EXPECT_GE(release->raw_estimate,
+            truth - release->truncation_bias_bound);
+}
+
 }  // namespace
 }  // namespace nodedp
