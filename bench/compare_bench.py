@@ -9,17 +9,28 @@ within one suite is malformed and rejected outright (a silent
 last-one-wins would make the comparison lie about whichever record was
 shadowed).
 
+Direction convention: real_ns is a time, so LOWER is better and a
+regression is current/baseline above the threshold. Counters whose name
+ends in `_speedup` are ratios where HIGHER is better (sweep_speedup,
+construct_speedup, tiered_speedup, ...), so for them the comparison is
+inverted: a regression is baseline/current above the threshold — i.e. the
+speedup *fell* by that factor. Getting this backwards either flags every
+improvement as a regression or waves real regressions through, which is
+why bench/test_compare_bench.py pins the convention and CI runs it.
+Non-`_speedup` counters are contextual (sizes, percentiles already
+covered by real_ns records) and are not gated.
+
 Benchmarks present in only one side are never an error: a record new in
 the current run has no baseline to regress against, so it is reported as
 "new record (no baseline): skipped" and ignored by --strict. Refresh the
 baseline to start gating it.
 
 Exit status: 0 unless --strict is given, in which case any benchmark whose
-real_ns grew by more than --threshold (default 1.25, i.e. +25%) fails the
-run. CI's smoke timings are noisy by design, so the bench-smoke step runs
-without --strict as a trend line; the bench-regression gate runs --strict
-with a deliberately loose threshold to catch only catastrophic
-regressions.
+real_ns grew — or whose `_speedup` counter shrank — by more than
+--threshold (default 1.25, i.e. 25%) fails the run. CI's smoke timings
+are noisy by design, so the bench-smoke step runs without --strict as a
+trend line; the bench-regression gate runs --strict with a deliberately
+loose threshold to catch only catastrophic regressions.
 
 A missing baseline file is not an error: the first run of a new suite (or
 a fresh checkout without bench/baselines/) has nothing to compare against,
@@ -45,6 +56,7 @@ def load_report(path):
     if not isinstance(suite, str) or not suite:
         raise SystemExit(f"{path}: missing suite name")
     benches = {}
+    speedups = {}
     for record in doc.get("benchmarks", []):
         name = record.get("name")
         real_ns = record.get("real_ns")
@@ -56,12 +68,19 @@ def load_report(path):
                 f"{path}: duplicate record {name!r} in suite {suite!r} — "
                 f"each (suite, name) pair must be unique within a file")
         benches[key] = float(real_ns)
-    return doc, benches
+        counters = record.get("counters", {})
+        if isinstance(counters, dict):
+            for counter, value in counters.items():
+                if not counter.endswith("_speedup"):
+                    continue
+                if not isinstance(value, (int, float)):
+                    continue
+                speedups[(suite, name, counter)] = float(value)
+    return doc, benches, speedups
 
 
 def format_key(key):
-    suite, name = key
-    return f"{suite}:{name}"
+    return ":".join(key)
 
 
 def format_ns(ns):
@@ -81,8 +100,8 @@ def main():
     parser.add_argument("current")
     parser.add_argument(
         "--threshold", type=float, default=1.25,
-        help="regression ratio: current/baseline above this is flagged "
-             "(default 1.25)")
+        help="regression ratio: real_ns growth (or _speedup shrinkage) "
+             "past this is flagged (default 1.25)")
     parser.add_argument(
         "--strict", action="store_true",
         help="exit non-zero if any benchmark regresses past the threshold")
@@ -93,8 +112,8 @@ def main():
               f"(first run of this suite?); skipping comparison")
         return 0
 
-    base_doc, base = load_report(args.baseline)
-    cur_doc, cur = load_report(args.current)
+    base_doc, base, base_speedups = load_report(args.baseline)
+    cur_doc, cur, cur_speedups = load_report(args.current)
 
     print(f"baseline: {args.baseline} (git_rev {base_doc.get('git_rev')}, "
           f"threads {base_doc.get('threads')})")
@@ -119,11 +138,34 @@ def main():
             flag = ""
             if ratio > args.threshold:
                 flag = "  << REGRESSION"
-                regressions.append((key, ratio))
+                regressions.append((format_key(key), ratio))
             print(f"{format_key(key):<{width}}  {format_ns(base[key]):>10}  "
                   f"{format_ns(cur[key]):>10}  {delta:>+7.1f}%{flag}")
     else:
         print("no benchmarks in common")
+
+    shared_speedups = sorted(k for k in cur_speedups if k in base_speedups)
+    if shared_speedups:
+        print()
+        width = max(len(format_key(key)) for key in shared_speedups)
+        header = (f"{'speedup counter (higher is better)':<{width}}  "
+                  f"{'baseline':>9}  {'current':>9}  {'delta':>8}")
+        print(header)
+        print("-" * len(header))
+        for key in shared_speedups:
+            base_value = base_speedups[key]
+            cur_value = cur_speedups[key]
+            # Inverted direction: the regression ratio is how far the
+            # speedup FELL, so baseline/current — not current/baseline.
+            ratio = base_value / cur_value if cur_value > 0 else float("inf")
+            delta = (cur_value / base_value - 1.0) * 100.0 \
+                if base_value > 0 else float("inf")
+            flag = ""
+            if ratio > args.threshold:
+                flag = "  << REGRESSION"
+                regressions.append((format_key(key), ratio))
+            print(f"{format_key(key):<{width}}  {base_value:>8.2f}x  "
+                  f"{cur_value:>8.2f}x  {delta:>+7.1f}%{flag}")
 
     for key in only_base:
         print(f"removed: {format_key(key)} ({format_ns(base[key])}) — "
@@ -136,15 +178,16 @@ def main():
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed past "
               f"{args.threshold:.2f}x:")
-        for key, ratio in regressions:
-            print(f"  {format_key(key)}: {ratio:.2f}x")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
         if args.strict:
             return 1
         print("(informational: smoke timings are noisy; rerun locally with "
               "--benchmark_min_time before acting)")
     else:
+        total = len(shared) + len(shared_speedups)
         print(f"no regressions past {args.threshold:.2f}x "
-              f"({len(shared)} shared benchmarks)")
+              f"({total} shared benchmarks)")
     return 0
 
 

@@ -64,6 +64,9 @@ int RunStdinLoop(ReleaseServer& server) {
     const ProtocolReply reply = HandleRequestLine(server, line);
     if (!reply.response.empty()) {
       std::printf("%s\n", reply.response.c_str());
+      // Multi-line body (`metrics` exposition text), already
+      // newline-terminated.
+      if (!reply.payload.empty()) std::fputs(reply.payload.c_str(), stdout);
       std::fflush(stdout);
     }
     if (reply.quit) return 0;
@@ -124,6 +127,21 @@ int RunConnect(const std::string& target) {
       return 1;
     }
     std::printf("%s\n", response->c_str());
+    // `ok metrics lines=N` announces an N-line body after the response
+    // line; drain exactly N lines so the next request/response pair stays
+    // aligned.
+    long long body_lines = 0;
+    if (std::sscanf(response->c_str(), "ok metrics lines=%lld",
+                    &body_lines) == 1) {
+      for (long long i = 0; i < body_lines; ++i) {
+        const Result<std::string> body = client->ReadLine();
+        if (!body.ok()) {
+          std::fprintf(stderr, "err %s\n", body.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("%s\n", body->c_str());
+      }
+    }
     std::fflush(stdout);
     if (*response == "ok bye") return 0;
   }

@@ -1,6 +1,7 @@
 #include "core/extension_family.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <set>
@@ -9,12 +10,38 @@
 #include "core/degree_improve.h"
 #include "graph/connectivity.h"
 #include "graph/subgraph.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace nodedp {
 
 namespace {
+
+// Per-cell timing histograms (docs/OBSERVABILITY.md): the two costs that
+// dominate a warm — inducing a component's subgraph and solving its
+// forest-polytope LP. Handles resolved once; Observe is lock-free.
+Histogram* InductionNsHistogram() {
+  static Histogram* h = MetricsRegistry::Default().GetHistogram(
+      "nodedp_family_induction_ns",
+      "Wall-ns per component induction inside ExtensionFamily",
+      MetricsRegistry::LatencyBucketsNs());
+  return h;
+}
+
+Histogram* LpSolveNsHistogram() {
+  static Histogram* h = MetricsRegistry::Default().GetHistogram(
+      "nodedp_family_lp_solve_ns",
+      "Wall-ns per forest-polytope LP solve (one grid cell)",
+      MetricsRegistry::LatencyBucketsNs());
+  return h;
+}
+
+long long ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 // Sorted-small-vector helpers for ComponentState::inflight_deltas (a
 // handful of grid Δs at most, so linear shifts beat node containers).
@@ -270,11 +297,14 @@ void ExtensionFamily::EnsureInduced(ComponentState& component,
                                     const Graph& host) {
   if (component.induced.load(std::memory_order_acquire)) return;
   std::call_once(component.induce_once, [this, &component, &host] {
+    const auto started = std::chrono::steady_clock::now();
     component.graph = InduceSortedGraph(host, component.vertices);
     // The invariant that replaced the per-component spanning-forest pass:
     // a connected component's spanning forest has exactly |C| - 1 edges.
     NODEDP_DCHECK(SpanningForestSize(component.graph) ==
                   static_cast<int>(component.f_sf));
+    InductionNsHistogram()->Observe(
+        static_cast<double>(ElapsedNs(started)));
     component.induced.store(true, std::memory_order_release);
     remaining_inductions_.fetch_sub(1, std::memory_order_acq_rel);
   });
@@ -547,8 +577,10 @@ ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(
   const std::size_t pool_snapshot_size = pool.size();
   ForestPolytopeOptions polytope = options_.polytope;
   polytope.cut_pool = &pool;
+  const auto lp_started = std::chrono::steady_clock::now();
   const ForestPolytopeResult lp =
       MaximizeOverForestPolytope(component.graph, delta, polytope);
+  LpSolveNsHistogram()->Observe(static_cast<double>(ElapsedNs(lp_started)));
   outcome.cut_rounds = lp.cut_rounds;
   outcome.cuts_added = lp.cuts_added;
   outcome.simplex_iterations = lp.simplex_iterations;

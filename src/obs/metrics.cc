@@ -1,0 +1,395 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "util/check.h"
+
+namespace nodedp {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Shard index for the calling thread: a hashed thread id, computed once
+// per thread. Threads with colliding indices still work — they just
+// share a cache line.
+std::size_t ThisThreadShard() {
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kMetricShards - 1);
+  return shard;
+}
+
+// std::atomic<double> has no fetch_add until C++20; CAS-loop instead.
+// Relaxed ordering is enough — readers only need an eventually-complete
+// sum, not ordering against neighbouring writes.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(observed, observed + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// Appends printf-formatted text (exposition is built with snprintf, not
+// iostreams, to keep float formatting deterministic across locales).
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  NODEDP_CHECK(n >= 0 && static_cast<std::size_t>(n) < sizeof(buf));
+  out->append(buf, static_cast<std::size_t>(n));
+}
+
+// Prometheus sample-value formatting: exact integers render without an
+// exponent or fraction (so CI can grep `refusals_total 1` literally);
+// everything else gets round-trippable %.17g; infinities use the
+// spelling the text format specifies.
+void AppendValue(std::string* out, double value) {
+  if (std::isinf(value)) {
+    out->append(value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  if (std::isnan(value)) {
+    out->append("NaN");
+    return;
+  }
+  // 2^53: beyond it doubles skip integers, so "integral" stops meaning
+  // exact and we fall through to %.17g.
+  if (value == std::floor(value) && std::fabs(value) < 9007199254740992.0) {
+    Appendf(out, "%lld", static_cast<long long>(value));
+    return;
+  }
+  Appendf(out, "%.17g", value);
+}
+
+// Label values may contain anything; the exposition format escapes
+// backslash, double-quote, and newline inside quoted values.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool IsValidNameChar(char c, bool first, bool label) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') return true;
+  if (!label && c == ':') return true;
+  if (!first && c >= '0' && c <= '9') return true;
+  return false;
+}
+
+bool IsValidName(const std::string& name, bool label) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!IsValidNameChar(name[i], i == 0, label)) return false;
+  }
+  return true;
+}
+
+// Serializes a label set to its exposition spelling, keys sorted — the
+// registry's series key. Empty labels serialize to "" (not "{}").
+std::string SerializeLabels(MetricsRegistry::Labels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    NODEDP_CHECK_MSG(IsValidName(labels[i].first, /*label=*/true),
+                     "bad label name: " << labels[i].first);
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Splices one extra label (used for histogram `le`) into a serialized
+// label set: "{a=\"b\"}" + (le, 0.5) -> "{a=\"b\",le=\"0.5\"}".
+std::string WithExtraLabel(const std::string& serialized, const char* key,
+                           const std::string& value) {
+  std::string extra = std::string(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  if (serialized.empty()) return "{" + extra + "}";
+  std::string out = serialized;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+std::string FormatBound(double bound) {
+  std::string out;
+  AppendValue(&out, bound);
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Counter::Add(double delta) {
+  if (!MetricsEnabled()) return;
+  if (!(delta > 0)) return;  // drops negatives and NaN; 0 is a no-op anyway
+  AtomicAdd(&shards_[ThisThreadShard()].value, delta);
+}
+
+double Counter::Value() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NODEDP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    NODEDP_CHECK_MSG(std::isfinite(bounds_[i]),
+                     "histogram bounds must be finite (+Inf is implicit)");
+    if (i > 0) NODEDP_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<long long>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // First bucket with value <= bound; everything past the last bound
+  // (and NaN, which compares false) lands in the +Inf overflow bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&shard.sum, value);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+      snapshot.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (long long c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+double Histogram::Percentile(double q) const {
+  return PercentileOf(TakeSnapshot(), bounds_, q);
+}
+
+double Histogram::PercentileOf(const Snapshot& snapshot,
+                               const std::vector<double>& bounds, double q) {
+  NODEDP_CHECK(q >= 0.0 && q <= 1.0);
+  if (snapshot.count == 0) return 0.0;
+  // Rank of the target observation, 1-based: ceil(q * N), clamped into
+  // [1, N] so p0 asks for the first observation rather than the zeroth.
+  long long rank = static_cast<long long>(
+      std::ceil(q * static_cast<double>(snapshot.count)));
+  rank = std::max<long long>(1, std::min(rank, snapshot.count));
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += snapshot.counts[i];
+    if (cumulative >= rank) return bounds[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const std::vector<double>& MetricsRegistry::LatencyBucketsNs() {
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    // 1-2-5 ladder, 1µs .. 10s, then a 30s bound before +Inf.
+    for (double decade = 1e3; decade <= 1e10; decade *= 10.0) {
+      b->push_back(decade);
+      if (decade <= 1e9) {
+        b->push_back(2 * decade);
+        b->push_back(5 * decade);
+      }
+    }
+    b->push_back(3e10);
+    return b;
+  }();
+  return *buckets;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FindOrCreateFamilyLocked(
+    const std::string& name, FamilyType type, const std::string& help) {
+  NODEDP_CHECK_MSG(IsValidName(name, /*label=*/false),
+                   "bad metric name: " << name);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = help;
+  } else {
+    NODEDP_CHECK_MSG(family.type == type,
+                     "metric re-registered with different type: " << name);
+  }
+  return family;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindOrCreateFamilyLocked(name, FamilyType::kCounter, help);
+  auto& slot = family.counters[SerializeLabels(labels)];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindOrCreateFamilyLocked(name, FamilyType::kGauge, help);
+  auto& slot = family.gauges[SerializeLabels(labels)];
+  if (!slot) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FindOrCreateFamilyLocked(name, FamilyType::kHistogram, help);
+  if (family.histograms.empty()) {
+    family.bounds = bounds;
+  } else {
+    NODEDP_CHECK_MSG(family.bounds == bounds,
+                     "histogram re-registered with different bounds: " << name);
+  }
+  auto& slot = family.histograms[SerializeLabels(labels)];
+  if (!slot) slot.reset(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    const char* type_name = family.type == FamilyType::kCounter ? "counter"
+                            : family.type == FamilyType::kGauge ? "gauge"
+                                                                : "histogram";
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " " + type_name + "\n";
+    switch (family.type) {
+      case FamilyType::kCounter:
+        for (const auto& [key, counter] : family.counters) {
+          out += name + key + " ";
+          AppendValue(&out, counter->Value());
+          out += "\n";
+        }
+        break;
+      case FamilyType::kGauge:
+        for (const auto& [key, gauge] : family.gauges) {
+          out += name + key + " ";
+          AppendValue(&out, gauge->Value());
+          out += "\n";
+        }
+        break;
+      case FamilyType::kHistogram:
+        for (const auto& [key, histogram] : family.histograms) {
+          const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+          long long cumulative = 0;
+          for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
+            cumulative += snapshot.counts[i];
+            out += name + "_bucket" +
+                   WithExtraLabel(key, "le",
+                                  FormatBound(histogram->bounds()[i])) +
+                   " ";
+            AppendValue(&out, static_cast<double>(cumulative));
+            out += "\n";
+          }
+          out += name + "_bucket" + WithExtraLabel(key, "le", "+Inf") + " ";
+          AppendValue(&out, static_cast<double>(snapshot.count));
+          out += "\n";
+          out += name + "_sum" + key + " ";
+          AppendValue(&out, snapshot.sum);
+          out += "\n";
+          out += name + "_count" + key + " ";
+          AppendValue(&out, static_cast<double>(snapshot.count));
+          out += "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> samples;
+  for (const auto& [name, family] : families_) {
+    switch (family.type) {
+      case FamilyType::kCounter:
+        for (const auto& [key, counter] : family.counters) {
+          samples.push_back({name + key, counter->Value()});
+        }
+        break;
+      case FamilyType::kGauge:
+        for (const auto& [key, gauge] : family.gauges) {
+          samples.push_back({name + key, gauge->Value()});
+        }
+        break;
+      case FamilyType::kHistogram:
+        for (const auto& [key, histogram] : family.histograms) {
+          const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+          samples.push_back(
+              {name + "_count" + key, static_cast<double>(snapshot.count)});
+          samples.push_back({name + "_sum" + key, snapshot.sum});
+          samples.push_back(
+              {name + "_p50" + key,
+               Histogram::PercentileOf(snapshot, histogram->bounds(), 0.50)});
+          samples.push_back(
+              {name + "_p99" + key,
+               Histogram::PercentileOf(snapshot, histogram->bounds(), 0.99)});
+          samples.push_back(
+              {name + "_p999" + key,
+               Histogram::PercentileOf(snapshot, histogram->bounds(), 0.999)});
+        }
+        break;
+    }
+  }
+  return samples;
+}
+
+}  // namespace nodedp

@@ -1,0 +1,230 @@
+// Always-on serving observability: a lock-cheap metrics registry.
+//
+// The serve layer answers "is it up?" with the `stats` verb; this layer
+// answers "what is p99 release_cc latency and how often do we refuse?" —
+// continuously, from the running process, in a format scrapers already
+// speak. Three metric kinds, the Prometheus trio:
+//
+//   * Counter   — monotonically non-decreasing double (request counts,
+//                 refusals, ε spent);
+//   * Gauge     — last-write-wins double (resident bytes, cache entries);
+//   * Histogram — fixed-bucket latency distribution with exact
+//                 p50/p99/p999 extraction from the bucket counts.
+//
+// Hot-path cost model (the <2% overhead contract, measured by
+// bench/bench_traffic.cc):
+//
+//   * Handles are resolved once — GetCounter/GetHistogram take the
+//     registry mutex, so instrumented code caches the returned pointer in
+//     a function-local static. Handles are never invalidated: the
+//     registry only ever adds metrics, and an existing (name, labels)
+//     pair is returned, not replaced.
+//   * Increment/Observe are zero-allocation: one relaxed enabled-check,
+//     one shard pick (a cached thread-local hash), and one atomic add on
+//     a cache-line-padded shard. No locks, no memory allocation, ever.
+//   * Reads (Value, snapshot, exposition) sum the shards; they are
+//     tolerant of concurrent writers and never block them.
+//
+// Exactness: percentile extraction is exact *at bucket resolution* — the
+// returned quantile is the smallest bucket upper bound b such that at
+// least ceil(q * count) observations were <= b. Observations recorded
+// exactly at a bucket boundary therefore report that boundary exactly
+// (tests/obs_test.cc pins this); between boundaries the histogram answers
+// with the conservative upper bound, never an interpolated guess.
+//
+// SetMetricsEnabled(false) turns every Increment/Observe into an early
+// return — the switch benches use to measure instrumentation overhead.
+// It is a measurement tool, not an operator feature: counters stop while
+// disabled, so the exposition under-reports whatever ran in the gap.
+
+#ifndef NODEDP_OBS_METRICS_H_
+#define NODEDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nodedp {
+
+// Global instrumentation switch (default on). Relaxed-atomic read on
+// every Increment/Observe; see the header comment for what "disabled"
+// means.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+// Write shards per metric. Power of two; 8 lines * 64B keeps a counter
+// within one page while letting 8 hot threads increment without
+// bouncing a shared cache line.
+inline constexpr std::size_t kMetricShards = 8;
+
+// A monotonically non-decreasing sum. Negative deltas are dropped (a
+// counter must never go down; the caller bug would otherwise corrupt
+// every rate computed from it).
+class Counter {
+ public:
+  void Increment() { Add(1.0); }
+  void Add(double delta);
+
+  // Sum over shards. Concurrent-writer tolerant.
+  double Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Shard {
+    std::atomic<double> value{0.0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket upper bounds are set at registration
+// and never change; an implicit +Inf bucket catches overflow. An
+// observation v lands in the first bucket with v <= bound (Prometheus
+// `le` semantics).
+class Histogram {
+ public:
+  void Observe(double value);
+
+  // A coherent-enough view for exposition and percentile math: per-bucket
+  // (non-cumulative) counts, total count, and the sum of observations.
+  // Taken without locking writers; counts observed mid-Observe can be off
+  // by the in-flight observations, never torn.
+  struct Snapshot {
+    std::vector<long long> counts;  // one per bound, plus the +Inf bucket
+    long long count = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // The smallest bucket upper bound covering quantile q in [0, 1]: with N
+  // recorded observations, the bound b of the first bucket whose
+  // cumulative count reaches ceil(q * N) (at least 1). Returns 0 when
+  // empty and +infinity when the quantile lands in the overflow bucket.
+  double Percentile(double q) const;
+  static double PercentileOf(const Snapshot& snapshot,
+                             const std::vector<double>& bounds, double q);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  // Each shard owns its own bucket array so two threads observing
+  // concurrently touch disjoint cache lines.
+  struct alignas(64) Shard {
+    std::vector<std::atomic<long long>> buckets;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;  // strictly increasing, finite
+  Shard shards_[kMetricShards];
+};
+
+// Name-keyed registry of metric families. A family is one metric name
+// with one type and help string; its series are the distinct label sets.
+// Registration is idempotent: the same (name, labels) returns the same
+// handle forever. Re-registering a name with a different type, or a
+// histogram with different bounds, is a programmer error (CHECK).
+//
+// Metric and label names must match Prometheus rules
+// ([a-zA-Z_:][a-zA-Z0-9_:]*; labels without the colon); label values are
+// escaped on exposition.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // The process-wide registry every instrumented layer reports into, and
+  // the one the `metrics` wire verb exposes.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels,
+                      const std::string& help);
+  Counter* GetCounter(const std::string& name, const std::string& help) {
+    return GetCounter(name, {}, help);
+  }
+
+  Gauge* GetGauge(const std::string& name, const Labels& labels,
+                  const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help) {
+    return GetGauge(name, {}, help);
+  }
+
+  Histogram* GetHistogram(const std::string& name, const Labels& labels,
+                          const std::string& help,
+                          std::vector<double> bounds);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds) {
+    return GetHistogram(name, {}, help, std::move(bounds));
+  }
+
+  // The default bucket layout for wall-time histograms, in nanoseconds:
+  // a 1-2-5 ladder from 1µs to 10s plus a 30s bound, 23 buckets. Wide
+  // enough that a single layout serves socket dispatch and 10M-vertex
+  // family warms alike, so snapshots of different histograms can be
+  // summed bucket-by-bucket.
+  static const std::vector<double>& LatencyBucketsNs();
+
+  // Prometheus text exposition format, version 0.0.4: families sorted by
+  // name, `# HELP` / `# TYPE` once per family, series sorted by label
+  // key; histograms expose cumulative `_bucket{le=...}` plus `_sum` and
+  // `_count`. Ends with a trailing newline.
+  std::string PrometheusText() const;
+
+  // Flat numeric view for eval/json_report.h: one sample per counter and
+  // gauge series ("name{labels}"), and per histogram series its _count,
+  // _sum, _p50, _p99, and _p999. Benches dump these into BENCH_*.json so
+  // the CI artifact carries the same numbers the `metrics` verb serves.
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+  };
+  std::vector<Sample> Samples() const;
+
+ private:
+  enum class FamilyType { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    FamilyType type = FamilyType::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histogram families only
+    // Keyed by the serialized label set ('{k="v",...}', keys sorted), so
+    // exposition order is deterministic.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& FindOrCreateFamilyLocked(const std::string& name, FamilyType type,
+                                   const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace nodedp
+
+#endif  // NODEDP_OBS_METRICS_H_

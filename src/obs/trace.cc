@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nodedp {
+
+namespace {
+
+thread_local QueryTrace* t_current_trace = nullptr;
+
+std::atomic<SlowQueryLogSink> g_slow_query_sink{nullptr};
+
+long long ReadThresholdFromEnv() {
+  const char* env = std::getenv("NODEDP_SLOW_QUERY_NS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return parsed;
+}
+
+std::atomic<long long>& ThresholdStorage() {
+  static std::atomic<long long> threshold{ReadThresholdFromEnv()};
+  return threshold;
+}
+
+void EmitSlowQueryLine(const std::string& line) {
+  const SlowQueryLogSink sink =
+      g_slow_query_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+long long NsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+long long SlowQueryThresholdNs() {
+  return ThresholdStorage().load(std::memory_order_relaxed);
+}
+
+void SetSlowQueryThresholdNs(long long threshold_ns) {
+  ThresholdStorage().store(threshold_ns, std::memory_order_relaxed);
+}
+
+void SetSlowQueryLogSink(SlowQueryLogSink sink) {
+  g_slow_query_sink.store(sink, std::memory_order_release);
+}
+
+QueryTrace::QueryTrace(const char* verb)
+    : verb_(verb),
+      start_(std::chrono::steady_clock::now()),
+      previous_(t_current_trace) {
+  t_current_trace = this;
+}
+
+QueryTrace::~QueryTrace() {
+  t_current_trace = previous_;
+  const long long threshold = SlowQueryThresholdNs();
+  if (threshold > 0 && TotalNs() >= threshold) {
+    EmitSlowQueryLine(Describe());
+  }
+}
+
+QueryTrace* QueryTrace::Current() { return t_current_trace; }
+
+void QueryTrace::AddSpan(const char* stage, long long ns) {
+  // Stage names are literals, so pointer equality catches the common
+  // case before the strcmp; the linear scan is over <= 16 entries.
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    if (stages_[i].name == stage || std::strcmp(stages_[i].name, stage) == 0) {
+      stages_[i].ns += ns;
+      return;
+    }
+  }
+  if (num_stages_ < kMaxStages) {
+    stages_[num_stages_].name = stage;
+    stages_[num_stages_].ns = ns;
+    ++num_stages_;
+  } else {
+    overflow_ns_ += ns;
+  }
+}
+
+long long QueryTrace::TotalNs() const { return NsSince(start_); }
+
+std::string QueryTrace::Describe() const {
+  std::string out = "slow_query verb=";
+  out += verb_;
+  if (!target_.empty()) {
+    out += " target=";
+    out += target_;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " total_ns=%lld", TotalNs());
+  out += buf;
+  out += " spans=";
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf), "%s:%lld", stages_[i].name, stages_[i].ns);
+    out += buf;
+  }
+  if (overflow_ns_ > 0) {
+    std::snprintf(buf, sizeof(buf), "%sother:%lld", num_stages_ > 0 ? "," : "",
+                  overflow_ns_);
+    out += buf;
+  }
+  if (num_stages_ == 0 && overflow_ns_ == 0) out += "none";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* stage)
+    : trace_(QueryTrace::Current()), stage_(stage) {
+  if (trace_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ != nullptr) trace_->AddSpan(stage_, NsSince(start_));
+}
+
+}  // namespace nodedp

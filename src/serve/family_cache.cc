@@ -5,9 +5,20 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace nodedp {
 
 namespace {
+
+// Cache outcome counters (docs/OBSERVABILITY.md): `hit` is a ready
+// family, `warm_wait` a resident-but-still-warming one (the caller may
+// block on the cells it needs), `miss` a cold build.
+Counter* CacheEventCounter(const char* event) {
+  return MetricsRegistry::Default().GetCounter(
+      "nodedp_family_cache_events_total", {{"event", event}},
+      "FamilyCache GetOrCreate outcomes by kind");
+}
 
 std::size_t ByteCapFromEnv() {
   const char* env = std::getenv("NODEDP_FAMILY_CACHE_BYTES");
@@ -34,12 +45,21 @@ Result<std::shared_ptr<ExtensionFamily>> FamilyCache::GetOrCreate(
         slot = std::make_shared<Slot>();
         slots_.emplace(key, slot);
         ++misses_;
+        static Counter* miss_events = CacheEventCounter("miss");
+        miss_events->Increment();
         break;  // we are the builder
       }
       if (it->second->state != SlotState::kBuilding) {
         // Ready, or warming — a warming family is fully usable: callers
         // block only on the cells their queries touch.
         ++hits_;
+        if (it->second->state == SlotState::kReady) {
+          static Counter* hit_events = CacheEventCounter("hit");
+          hit_events->Increment();
+        } else {
+          static Counter* warm_wait_events = CacheEventCounter("warm_wait");
+          warm_wait_events->Increment();
+        }
         it->second->last_used = ++use_tick_;
         return it->second->family;
       }

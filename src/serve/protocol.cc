@@ -1,18 +1,70 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace nodedp {
 
 namespace {
+
+// Canonical verb names for metric labels and trace contexts. Unknown
+// commands fold into "other" so a client typo cannot mint unbounded
+// label values (Prometheus cardinality hygiene).
+constexpr const char* kVerbs[] = {
+    "quit", "load", "load_mmap", "gen", "save", "release_cc", "release_sf",
+    "sweep", "add_edges", "budget", "stats", "evict", "metrics"};
+
+const char* CanonicalVerb(const std::string& command) {
+  for (const char* verb : kVerbs) {
+    if (command == verb) return verb;
+  }
+  return "other";
+}
+
+// Per-verb request accounting. The table is built once, on first
+// dispatch, so the hot path is one read-only map lookup plus lock-free
+// increments/observes.
+struct VerbMetrics {
+  Counter* requests;
+  Counter* errors;
+  Histogram* latency;
+};
+
+const VerbMetrics& MetricsForVerb(const char* verb) {
+  static const std::map<std::string, VerbMetrics>* table = [] {
+    auto* t = new std::map<std::string, VerbMetrics>();
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    std::vector<const char*> verbs(std::begin(kVerbs), std::end(kVerbs));
+    verbs.push_back("other");
+    for (const char* verb : verbs) {
+      VerbMetrics metrics;
+      metrics.requests = registry.GetCounter(
+          "nodedp_requests_total", {{"verb", verb}},
+          "Requests dispatched through the line protocol");
+      metrics.errors = registry.GetCounter(
+          "nodedp_request_errors_total", {{"verb", verb}},
+          "Requests answered with an err response");
+      metrics.latency = registry.GetHistogram(
+          "nodedp_request_ns", {{"verb", verb}},
+          "End-to-end request latency (parse to response) in wall-ns",
+          MetricsRegistry::LatencyBucketsNs());
+      t->emplace(verb, metrics);
+    }
+    return t;
+  }();
+  return table->at(verb);
+}
 
 // printf-style append; responses are built in memory so every transport
 // (stdout, socket) sends exactly one write per reply.
@@ -84,17 +136,11 @@ std::string BudgetResponse(const BudgetReport& budget) {
   return out;
 }
 
-}  // namespace
-
-ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
+// Executes one parsed request. `args` is non-empty; args[0] is the
+// command word.
+ProtocolReply DispatchCommand(ReleaseServer& server,
+                              const std::vector<std::string>& args) {
   ProtocolReply reply;
-  // Tolerate CRLF transports.
-  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-  std::istringstream stream{std::string(line)};
-  std::vector<std::string> args;
-  std::string token;
-  while (stream >> token) args.push_back(token);
-  if (args.empty() || args[0][0] == '#') return reply;
   const std::string& command = args[0];
   std::string& out = reply.response;
 
@@ -327,14 +373,18 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
     out = BudgetResponse(*budget);
   } else if (command == "stats") {
     if (args.size() == 1) {
-      const auto names = server.GraphNames();
-      const auto cache = server.family_cache_stats();
+      // Registry-wide summary: totals only, independent of map order, so
+      // the line is stable as graphs come and go. Format documented in
+      // docs/SERVING.md; per-verb/latency telemetry lives under the
+      // `metrics` verb, not here.
+      const ReleaseServer::Summary summary = server.GetSummary();
       Appendf(&out,
-              "ok graphs=%zu cache_entries=%d cache_warming=%d "
-              "cache_bytes=%zu cache_cap=%zu cache_hits=%lld "
-              "cache_misses=%lld cache_evictions=%lld",
-              names.size(), cache.entries, cache.warming, cache.bytes,
-              cache.byte_cap, cache.hits, cache.misses, cache.evictions);
+              "ok graphs=%zu memory_bytes=%zu mapped_bytes=%zu "
+              "cache_bytes=%zu cache_cap=%zu cache_evictions=%lld "
+              "refusals=%lld",
+              summary.graphs, summary.memory_bytes, summary.mapped_bytes,
+              summary.cache.bytes, summary.cache.byte_cap,
+              summary.cache.evictions, summary.refusals);
     } else if (args.size() == 2) {
       const auto stats = server.Stats(args[1]);
       if (!stats.ok()) {
@@ -366,9 +416,49 @@ ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
       return reply;
     }
     Appendf(&out, "ok evicted %s", args[1].c_str());
+  } else if (command == "metrics") {
+    // Prometheus text exposition of the process-wide registry
+    // (docs/OBSERVABILITY.md). The body rides ProtocolReply::payload; the
+    // response line announces its exact line count so request/response
+    // clients know how many lines to drain before the next request.
+    if (args.size() != 1) {
+      out = "err usage: metrics";
+      return reply;
+    }
+    reply.payload = MetricsRegistry::Default().PrometheusText();
+    const std::size_t lines = static_cast<std::size_t>(
+        std::count(reply.payload.begin(), reply.payload.end(), '\n'));
+    Appendf(&out, "ok metrics lines=%zu", lines);
   } else {
     out = "err unknown command '" + command + "'";
   }
+  return reply;
+}
+
+}  // namespace
+
+ProtocolReply HandleRequestLine(ReleaseServer& server, std::string_view line) {
+  // Tolerate CRLF transports.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::istringstream stream{std::string(line)};
+  std::vector<std::string> args;
+  std::string token;
+  while (stream >> token) args.push_back(token);
+  if (args.empty() || args[0][0] == '#') return {};
+
+  // Every dispatched request runs under a QueryTrace: deeper layers
+  // (admission, family resolution, mechanisms, updates) attach spans to
+  // it, and crossing NODEDP_SLOW_QUERY_NS logs the breakdown on the way
+  // out. The latency histogram is observed before the trace destructs so
+  // its verb label and the slow-query log describe the same request.
+  const char* verb = CanonicalVerb(args[0]);
+  const VerbMetrics& metrics = MetricsForVerb(verb);
+  QueryTrace trace(verb);
+  if (args.size() >= 2) trace.set_target(args[1]);
+  ProtocolReply reply = DispatchCommand(server, args);
+  metrics.latency->Observe(static_cast<double>(trace.TotalNs()));
+  metrics.requests->Increment();
+  if (reply.response.compare(0, 4, "err ") == 0) metrics.errors->Increment();
   return reply;
 }
 

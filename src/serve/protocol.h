@@ -29,6 +29,14 @@ struct ProtocolReply {
   // The response line, without a trailing newline. Empty for blank and
   // comment (#...) request lines, which produce no response at all.
   std::string response;
+  // Multi-line body sent verbatim *after* the response line (today only
+  // the `metrics` verb uses it, for Prometheus exposition text). Already
+  // newline-terminated; the transport writes it as-is. The response line
+  // announces the body's line count (`ok metrics lines=N`) so clients on
+  // a request/response loop know exactly how many lines to drain; body
+  // lines never start with `ok ` or `err `, so line-oriented scripting
+  // (and the CI smoke greps) keep counting responses correctly.
+  std::string payload;
   // True when the client asked to end the session (`quit`): the transport
   // should send the response and close this session/connection.
   bool quit = false;

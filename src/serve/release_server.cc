@@ -1,11 +1,14 @@
 #include "serve/release_server.h"
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nodedp {
 
@@ -17,6 +20,74 @@ std::string FormatEpsilon(double epsilon) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%g", epsilon);
   return std::string(buffer);
+}
+
+// Per-tier privacy accounting (docs/OBSERVABILITY.md): admitted queries,
+// and ε actually charged, split by serving tier — `exact` is the warmed
+// Algorithm 1 family, `approx` the sublinear estimator.
+struct TierMetrics {
+  Counter* admissions;
+  Counter* epsilon_spent;
+};
+
+const TierMetrics& MetricsForTier(bool need_family) {
+  static const TierMetrics exact = {
+      MetricsRegistry::Default().GetCounter(
+          "nodedp_ledger_admissions_total", {{"tier", "exact"}},
+          "Queries admitted (ledger charged) by serving tier"),
+      MetricsRegistry::Default().GetCounter(
+          "nodedp_epsilon_spent_total", {{"tier", "exact"}},
+          "Privacy budget charged to ledgers by serving tier")};
+  static const TierMetrics approx = {
+      MetricsRegistry::Default().GetCounter(
+          "nodedp_ledger_admissions_total", {{"tier", "approx"}},
+          "Queries admitted (ledger charged) by serving tier"),
+      MetricsRegistry::Default().GetCounter(
+          "nodedp_epsilon_spent_total", {{"tier", "approx"}},
+          "Privacy budget charged to ledgers by serving tier")};
+  return need_family ? exact : approx;
+}
+
+// Unlabeled so the exposition line is a literal `name value` pair CI can
+// grep across the scripted over-budget query.
+Counter* RefusalCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "nodedp_ledger_refusals_total",
+      "Queries refused with ResourceExhausted (budget could not cover)");
+  return counter;
+}
+
+long long ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Times a block into both the active QueryTrace (as a span stage) and a
+// histogram — the update path reports its phases to the slow-query log
+// and to scrapers with one clock pair.
+class TimedStage {
+ public:
+  TimedStage(const char* stage, Histogram* histogram)
+      : span_(stage),
+        histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~TimedStage() {
+    histogram_->Observe(static_cast<double>(ElapsedNs(start_)));
+  }
+
+  TimedStage(const TimedStage&) = delete;
+  TimedStage& operator=(const TimedStage&) = delete;
+
+ private:
+  ScopedSpan span_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+Histogram* UpdateStageHistogram(const char* name, const char* help) {
+  return MetricsRegistry::Default().GetHistogram(
+      name, help, MetricsRegistry::LatencyBucketsNs());
 }
 
 }  // namespace
@@ -210,6 +281,19 @@ Result<UpdateReport> ReleaseServer::UpdateGraph(
     old_graph = entry->graph;
   }
 
+  static Counter* updates_total = MetricsRegistry::Default().GetCounter(
+      "nodedp_updates_total", "Edge-delta batches applied via UpdateGraph");
+  static Histogram* apply_ns = UpdateStageHistogram(
+      "nodedp_update_apply_ns",
+      "Wall-ns building the patched graph + incremental family");
+  static Histogram* publish_ns = UpdateStageHistogram(
+      "nodedp_update_publish_ns",
+      "Wall-ns publishing the patched family and swapping the graph");
+  static Histogram* rewarm_ns = UpdateStageHistogram(
+      "nodedp_update_rewarm_ns",
+      "Wall-ns re-warming the invalidated cells after an update");
+  updates_total->Increment();
+
   Result<Graph::EdgeDelta> delta = old_graph->ApplyEdgeDelta(inserts);
   if (!delta.ok()) return delta.status();
   UpdateReport report;
@@ -231,19 +315,21 @@ Result<UpdateReport> ReleaseServer::UpdateGraph(
       families_.Get(entry->cache_key);
   std::shared_ptr<ExtensionFamily> family;
   if (old_family != nullptr) {
+    TimedStage apply_stage("update_apply", apply_ns);
     family = std::make_shared<ExtensionFamily>(*patched, *old_family,
                                                delta->added);
     report.components_adopted = family->components_adopted();
     report.components_invalidated = family->components_invalidated();
   }
 
-  // Publish-then-warm, mirroring Load's register-before-warm: the patched
-  // family and graph become visible first, so queries arriving mid-re-warm
-  // resolve the patched family and block only on the invalidated cells.
-  // Queries that resolved the old family before this point finish against
-  // it — their shared_ptr keeps it alive.
-  if (family != nullptr) families_.Replace(entry->cache_key, family);
   {
+    TimedStage publish_stage("update_publish", publish_ns);
+    // Publish-then-warm, mirroring Load's register-before-warm: the
+    // patched family and graph become visible first, so queries arriving
+    // mid-re-warm resolve the patched family and block only on the
+    // invalidated cells. Queries that resolved the old family before this
+    // point finish against it — their shared_ptr keeps it alive.
+    if (family != nullptr) families_.Replace(entry->cache_key, family);
     std::lock_guard<std::mutex> entry_lock(entry->mu);
     entry->graph = patched;
   }
@@ -261,6 +347,7 @@ Result<UpdateReport> ReleaseServer::UpdateGraph(
   }
 
   if (family != nullptr) {
+    TimedStage rewarm_stage("update_rewarm", rewarm_ns);
     const Status warmed = family->Warm(WarmGrid(*patched, entry->config));
     if (!warmed.ok()) {
       // Drop the half-warmed slot so the next query rebuilds cold from the
@@ -326,12 +413,13 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
                                                      double epsilon_total,
                                                      std::string label,
                                                      bool need_family) {
-  Result<std::shared_ptr<Entry>> found = Find(name);
-  if (!found.ok()) return found.status();
   Admitted admitted;
-  admitted.entry = *found;
-  Entry& entry = *admitted.entry;
   {
+    ScopedSpan admit_span("admit");
+    Result<std::shared_ptr<Entry>> found = Find(name);
+    if (!found.ok()) return found.status();
+    admitted.entry = *found;
+    Entry& entry = *admitted.entry;
     std::lock_guard<std::mutex> entry_lock(entry.mu);
     if (entry.retired) {
       // A failed prewarm rolled this registration back between our Find
@@ -340,7 +428,12 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
     }
     if (wal_ == nullptr) {
       Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
-      if (!charged.ok()) return charged;
+      if (!charged.ok()) {
+        if (charged.code() == StatusCode::kResourceExhausted) {
+          RefusalCounter()->Increment();
+        }
+        return charged;
+      }
     } else if (!(epsilon_total > 0.0) ||
                !entry.ledger.CanCharge(epsilon_total)) {
       // Refused (or invalid) admissions never touch the durable charge
@@ -349,6 +442,7 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
       // refusal the client sees.
       Status refused = entry.ledger.TryCharge(epsilon_total, std::move(label));
       if (refused.code() == StatusCode::kResourceExhausted) {
+        RefusalCounter()->Increment();
         (void)wal_->RecordRefusal(name);
       }
       return refused;
@@ -363,14 +457,19 @@ Result<ReleaseServer::Admitted> ReleaseServer::Admit(const std::string& name,
       Status charged = entry.ledger.TryCharge(epsilon_total, std::move(label));
       if (!charged.ok()) return charged;  // unreachable: CanCharge held
     }
+    const TierMetrics& tier = MetricsForTier(need_family);
+    tier.admissions->Increment();
+    tier.epsilon_spent->Add(epsilon_total);
     // Split atomically with the charge (entry.mu -> mu_, per the lock
     // order), so the k-th ledger entry always carries the k-th stream.
     admitted.child = SplitRng();
   }
   if (need_family) {
-    Result<std::shared_ptr<ExtensionFamily>> family = FamilyFor(entry);
+    ScopedSpan family_span("family");
+    Result<std::shared_ptr<ExtensionFamily>> family =
+        FamilyFor(*admitted.entry);
     if (!family.ok()) {
-      RecordOutcome(entry, /*ok=*/false, 0);
+      RecordOutcome(*admitted.entry, /*ok=*/false, 0);
       return family.status();
     }
     admitted.family = std::move(*family);
@@ -392,6 +491,7 @@ Result<ConnectedComponentsRelease> ReleaseServer::ReleaseCc(
   Result<Admitted> admitted =
       Admit(name, epsilon, "release_cc eps=" + FormatEpsilon(epsilon));
   if (!admitted.ok()) return admitted.status();
+  ScopedSpan mechanism_span("mechanism");
   Result<ConnectedComponentsRelease> release = PrivateConnectedComponents(
       *admitted->family, epsilon, admitted->child,
       admitted->entry->config.release);
@@ -413,6 +513,7 @@ Result<SublinearCcRelease> ReleaseServer::ReleaseCcApprox(
   if (options.delta_max <= 0) {
     options.delta_max = admitted->entry->config.release.delta_max;
   }
+  ScopedSpan mechanism_span("mechanism");
   Result<SublinearCcRelease> release =
       PrivateSublinearCc(*graph, epsilon, admitted->child, options);
   RecordOutcome(*admitted->entry, release.ok(), 1);
@@ -424,6 +525,7 @@ Result<SpanningForestRelease> ReleaseServer::ReleaseSf(
   Result<Admitted> admitted =
       Admit(name, epsilon, "release_sf eps=" + FormatEpsilon(epsilon));
   if (!admitted.ok()) return admitted.status();
+  ScopedSpan mechanism_span("mechanism");
   Result<SpanningForestRelease> release = PrivateSpanningForestSize(
       *admitted->family, epsilon, admitted->child,
       admitted->entry->config.release);
@@ -451,6 +553,7 @@ Result<std::vector<ConnectedComponentsRelease>> ReleaseServer::SweepCc(
                 " sum=" + FormatEpsilon(sum));
   if (!admitted.ok()) return admitted.status();
 
+  ScopedSpan mechanism_span("mechanism");
   std::vector<Result<ConnectedComponentsRelease>> slots =
       SweepConnectedComponents(*admitted->family, epsilons, admitted->child,
                                admitted->entry->config.release);
@@ -511,6 +614,29 @@ Result<ServeGraphStats> ReleaseServer::Stats(const std::string& name) const {
     stats.family_memory_bytes = family->MemoryBytes();
   }
   return stats;
+}
+
+ReleaseServer::Summary ReleaseServer::GetSummary() const {
+  // Snapshot the registry first, then visit entries without holding the
+  // server mutex (lock order forbids mu_ -> entry.mu). Graphs evicted
+  // between the snapshot and the visit still count — a summary is a
+  // point-in-time aggregate, not a transaction.
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(registry_.size());
+    for (const auto& [name, entry] : registry_) entries.push_back(entry);
+  }
+  Summary summary;
+  summary.graphs = entries.size();
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    summary.memory_bytes += entry->graph->MemoryBytes();
+    summary.mapped_bytes += entry->graph->MappedBytes();
+    summary.refusals += entry->ledger.num_refusals();
+  }
+  summary.cache = families_.stats();
+  return summary;
 }
 
 }  // namespace nodedp

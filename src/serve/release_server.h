@@ -243,6 +243,18 @@ class ReleaseServer {
   // safe to read while queries are in flight.
   Result<ServeGraphStats> Stats(const std::string& name) const;
 
+  // Registry-wide aggregate backing the no-name `stats` verb: totals only,
+  // independent of registry iteration order, so the wire line is stable as
+  // graphs come and go (exact format documented in docs/SERVING.md).
+  struct Summary {
+    std::size_t graphs = 0;
+    std::size_t memory_bytes = 0;  // resident heap bytes across all graphs
+    std::size_t mapped_bytes = 0;  // mmap-backed bytes across all graphs
+    FamilyCache::CacheStats cache;
+    long long refusals = 0;  // Σ ledger refusals across registered graphs
+  };
+  Summary GetSummary() const;
+
   FamilyCache::CacheStats family_cache_stats() const {
     return families_.stats();
   }

@@ -10,11 +10,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace nodedp {
@@ -23,6 +25,41 @@ namespace {
 
 std::string ErrnoMessage(const std::string& what) {
   return what + ": " + std::strerror(errno);
+}
+
+// Transport-level telemetry (docs/OBSERVABILITY.md). These mirror the
+// in-struct Stats counters so scrapers see the same numbers the `stats`
+// API reports, plus wall-time splits the struct cannot carry. read_ns
+// covers the recv() wait and therefore *includes client think time* — it
+// measures connection idleness, not server work; dispatch_ns is the
+// server-side cost of a request line.
+Counter* AcceptedCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "nodedp_socket_accepted_total", "Connections accepted");
+  return counter;
+}
+
+Counter* LinesCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "nodedp_socket_lines_total", "Request lines dispatched over sockets");
+  return counter;
+}
+
+Counter* DroppedCounter(const char* reason) {
+  return MetricsRegistry::Default().GetCounter(
+      "nodedp_socket_dropped_total", {{"reason", reason}},
+      "Connections dropped by the server, by cause");
+}
+
+Histogram* SocketHistogram(const char* name, const char* help) {
+  return MetricsRegistry::Default().GetHistogram(
+      name, help, MetricsRegistry::LatencyBucketsNs());
+}
+
+long long ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 // Sends all of `data`, retrying short writes. MSG_NOSIGNAL turns a closed
@@ -164,6 +201,7 @@ void SocketServer::AcceptLoop() {
     const long long id = next_id++;
     conn_fds_[id] = fd;
     ++stats_.accepted;
+    AcceptedCounter()->Increment();
     ++stats_.active;
     handlers_.emplace(id, std::thread([this, id, fd] {
                         HandleConnection(id, fd);
@@ -172,16 +210,26 @@ void SocketServer::AcceptLoop() {
 }
 
 void SocketServer::HandleConnection(long long id, int fd) {
+  static Histogram* read_ns = SocketHistogram(
+      "nodedp_socket_read_ns",
+      "Wall-ns per recv() wait (includes client think time)");
+  static Histogram* dispatch_ns = SocketHistogram(
+      "nodedp_socket_dispatch_ns",
+      "Wall-ns per request line inside HandleRequestLine");
+  static Histogram* write_ns = SocketHistogram(
+      "nodedp_socket_write_ns", "Wall-ns sending one reply to the peer");
   std::string pending;
   char buffer[4096];
   bool open = true;
   while (open) {
+    const auto read_started = std::chrono::steady_clock::now();
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // reset, or shutdown() from Stop()
     }
     if (n == 0) break;  // peer closed; any partial line is abandoned
+    read_ns->Observe(static_cast<double>(ElapsedNs(read_started)));
     pending.append(buffer, static_cast<std::size_t>(n));
 
     std::size_t newline;
@@ -192,19 +240,36 @@ void SocketServer::HandleConnection(long long id, int fd) {
         (void)SendLine(fd, "err line too long");
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.dropped_overflow;
+        static Counter* dropped_overflow = DroppedCounter("overflow");
+        dropped_overflow->Increment();
         open = false;
         break;
       }
+      const auto dispatch_started = std::chrono::steady_clock::now();
       ProtocolReply reply = HandleRequestLine(*server_, line);
+      dispatch_ns->Observe(static_cast<double>(ElapsedNs(dispatch_started)));
+      LinesCounter()->Increment();
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.lines;
       }
-      if (!reply.response.empty() && !SendLine(fd, reply.response)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.dropped_write;
-        open = false;
-        break;
+      if (!reply.response.empty()) {
+        // The payload (today: `metrics` exposition text) follows the
+        // response line verbatim; it is already newline-terminated.
+        const auto write_started = std::chrono::steady_clock::now();
+        const bool sent =
+            SendLine(fd, reply.response) &&
+            (reply.payload.empty() ||
+             SendAll(fd, reply.payload.data(), reply.payload.size()));
+        write_ns->Observe(static_cast<double>(ElapsedNs(write_started)));
+        if (!sent) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.dropped_write;
+          static Counter* dropped_write = DroppedCounter("write");
+          dropped_write->Increment();
+          open = false;
+          break;
+        }
       }
       if (reply.quit) open = false;
     }
@@ -214,6 +279,8 @@ void SocketServer::HandleConnection(long long id, int fd) {
       (void)SendLine(fd, "err line too long");
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.dropped_overflow;
+      static Counter* dropped_overflow = DroppedCounter("overflow");
+      dropped_overflow->Increment();
       open = false;
     }
   }

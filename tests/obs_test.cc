@@ -1,0 +1,434 @@
+// Tests for src/obs: metrics registry exactness and concurrency, the
+// Prometheus exposition format, trace spans, and the slow-query log.
+//
+// Most tests use a local MetricsRegistry instance for isolation; the few
+// that exercise MetricsRegistry::Default() or the global enabled switch
+// use test-unique metric names, because the default registry is
+// process-wide and shared with every other test in this binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nodedp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Counter
+
+TEST(CounterTest, IncrementAndAdd) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total", "help");
+  EXPECT_EQ(counter->Value(), 0.0);
+  counter->Increment();
+  counter->Add(2.5);
+  EXPECT_DOUBLE_EQ(counter->Value(), 3.5);
+}
+
+TEST(CounterTest, NegativeAndZeroDeltasAreDropped) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total", "help");
+  counter->Add(-5.0);
+  counter->Add(0.0);
+  counter->Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(counter->Value(), 0.0);
+}
+
+TEST(CounterTest, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c_total", {{"verb", "load"}}, "help");
+  Counter* b = registry.GetCounter("c_total", {{"verb", "load"}}, "help");
+  Counter* other = registry.GetCounter("c_total", {{"verb", "gen"}}, "help");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  // The sharded-atomic design claim: increments from many threads are
+  // never lost. Run under TSan (NODEDP_SANITIZE=THREAD) this also proves
+  // the implementation is race-free.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(counter->Value(),
+                   static_cast<double>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+TEST(GaugeTest, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("g_bytes", "help");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(42.0);
+  gauge->Set(7.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles — exact at bucket resolution
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {10.0, 20.0, 30.0});
+  EXPECT_EQ(histogram->Percentile(0.5), 0.0);
+  EXPECT_EQ(histogram->Percentile(0.999), 0.0);
+}
+
+TEST(HistogramTest, BoundaryObservationsReportTheBoundaryExactly) {
+  // An observation at a bucket bound lands in that bucket (le
+  // semantics), so a percentile landing on it reports the bound itself —
+  // no interpolation, no off-by-one-bucket.
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {10.0, 20.0, 30.0});
+  histogram->Observe(10.0);
+  histogram->Observe(20.0);
+  histogram->Observe(30.0);
+  // N = 3: rank(q) = ceil(q*3) -> p50 at rank 2 = the second observation.
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(1.0 / 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.99), 30.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.999), 30.0);
+}
+
+TEST(HistogramTest, SingleObservationDefinesEveryQuantile) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {10.0, 20.0, 30.0});
+  histogram->Observe(15.0);  // rounds up to the 20 bucket
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(histogram->Percentile(0.999), 20.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsInfinity) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {10.0, 20.0, 30.0});
+  histogram->Observe(31.0);
+  EXPECT_EQ(histogram->Percentile(0.5), kInf);
+}
+
+TEST(HistogramTest, SnapshotCountsAndSum) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {10.0, 20.0, 30.0});
+  histogram->Observe(5.0);
+  histogram->Observe(10.0);
+  histogram->Observe(25.0);
+  histogram->Observe(100.0);
+  const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snapshot.counts[0], 2);       // 5 and 10
+  EXPECT_EQ(snapshot.counts[1], 0);
+  EXPECT_EQ(snapshot.counts[2], 1);  // 25
+  EXPECT_EQ(snapshot.counts[3], 1);  // 100 -> +Inf
+  EXPECT_EQ(snapshot.count, 4);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 140.0);
+}
+
+TEST(HistogramTest, PercentileOfSummedSnapshots) {
+  // bench_traffic sums per-verb snapshots bucket-by-bucket; the static
+  // PercentileOf must give the same answer as a single histogram would.
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("a_ns", "help", {10.0, 20.0, 30.0});
+  Histogram* b = registry.GetHistogram("b_ns", "help", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 9; ++i) a->Observe(10.0);
+  b->Observe(30.0);
+  Histogram::Snapshot total = a->TakeSnapshot();
+  const Histogram::Snapshot other = b->TakeSnapshot();
+  for (std::size_t i = 0; i < total.counts.size(); ++i) {
+    total.counts[i] += other.counts[i];
+  }
+  total.count += other.count;
+  total.sum += other.sum;
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(Histogram::PercentileOf(total, bounds, 0.50), 10.0);
+  EXPECT_DOUBLE_EQ(Histogram::PercentileOf(total, bounds, 0.90), 10.0);
+  EXPECT_DOUBLE_EQ(Histogram::PercentileOf(total, bounds, 0.91), 30.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllLand) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("h_ns", "help", {1.0, 2.0, 4.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(static_cast<double>(t % 3));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<long long>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, LatencyBucketLayout) {
+  const std::vector<double>& bounds = MetricsRegistry::LatencyBucketsNs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e3);  // 1 us
+  EXPECT_DOUBLE_EQ(bounds.back(), 3e10);  // 30 s
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PrometheusTextTest, ParsesAsExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", {{"verb", "load"}}, "Requests")->Add(3);
+  registry.GetCounter("req_total", {{"verb", "gen"}}, "Requests")->Add(1);
+  registry.GetGauge("mem_bytes", "Resident bytes")->Set(512.0);
+  Histogram* histogram =
+      registry.GetHistogram("lat_ns", "Latency", {10.0, 20.0});
+  histogram->Observe(5.0);
+  histogram->Observe(100.0);
+
+  const std::string text = registry.PrometheusText();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // Every line must be a comment or `name[{labels}] value`.
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")"
+      R"((,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? [^ ]+$)");
+  const std::regex comment_re(R"(^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("#", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, comment_re)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+      ++samples;
+    }
+  }
+  // 2 counter series + 1 gauge + (3 buckets + sum + count) = 8.
+  EXPECT_EQ(samples, 8);
+
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mem_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("req_total{verb=\"load\"} 3"), std::string::npos);
+  // Histogram buckets are cumulative and include +Inf; count matches.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"20\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 2"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"path", "a\\b\"c\nd"}}, "help")
+      ->Increment();
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find(R"(c_total{path="a\\b\"c\nd"} 1)"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, IntegersExposeWithoutExponent) {
+  // CI greps for literal `name 1`; exact integers must not print as
+  // 1e+00 or 1.0000000000000000.
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", "help")->Add(1.0);
+  registry.GetCounter("big_total", "help")->Add(1048576.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("c_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("big_total 1048576\n"), std::string::npos);
+}
+
+TEST(SamplesTest, FlattensCountersGaugesAndHistogramPercentiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"verb", "x"}}, "help")->Add(2.0);
+  registry.GetGauge("g_bytes", "help")->Set(9.0);
+  Histogram* histogram = registry.GetHistogram("h_ns", "help", {10.0, 20.0});
+  histogram->Observe(10.0);
+
+  const std::vector<MetricsRegistry::Sample> samples = registry.Samples();
+  const auto find = [&samples](const std::string& name) -> const double* {
+    for (const auto& sample : samples) {
+      if (sample.name == name) return &sample.value;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("c_total{verb=\"x\"}"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("c_total{verb=\"x\"}"), 2.0);
+  ASSERT_NE(find("g_bytes"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("g_bytes"), 9.0);
+  ASSERT_NE(find("h_ns_count"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("h_ns_count"), 1.0);
+  ASSERT_NE(find("h_ns_p50"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("h_ns_p50"), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Enabled switch
+
+TEST(MetricsEnabledTest, DisabledWritesAreDropped) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total", "help");
+  Histogram* histogram = registry.GetHistogram("h_ns", "help", {10.0});
+  ASSERT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(false);
+  counter->Increment();
+  histogram->Observe(1.0);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 0.0);
+  EXPECT_EQ(histogram->TakeSnapshot().count, 0);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+TEST(TraceTest, SpansAccumulateByStageName) {
+  QueryTrace trace("release_cc");
+  trace.set_target("g1");
+  trace.AddSpan("admit", 100);
+  trace.AddSpan("family", 200);
+  trace.AddSpan("family", 50);
+  const std::string line = trace.Describe();
+  EXPECT_NE(line.find("slow_query verb=release_cc target=g1"),
+            std::string::npos);
+  EXPECT_NE(line.find("admit:100"), std::string::npos);
+  EXPECT_NE(line.find("family:250"), std::string::npos);
+}
+
+TEST(TraceTest, CurrentInstallsAndRestoresAcrossNesting) {
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+  {
+    QueryTrace outer("stats");
+    EXPECT_EQ(QueryTrace::Current(), &outer);
+    {
+      QueryTrace inner("budget");
+      EXPECT_EQ(QueryTrace::Current(), &inner);
+    }
+    EXPECT_EQ(QueryTrace::Current(), &outer);
+  }
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+}
+
+TEST(TraceTest, ScopedSpanWithoutTraceIsANoOp) {
+  ASSERT_EQ(QueryTrace::Current(), nullptr);
+  ScopedSpan span("orphan");  // must not crash or install anything
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+}
+
+TEST(TraceTest, ScopedSpanRecordsIntoTheActiveTrace) {
+  QueryTrace trace("release_cc");
+  { ScopedSpan span("mechanism"); }
+  EXPECT_NE(trace.Describe().find("mechanism:"), std::string::npos);
+}
+
+TEST(TraceTest, OverflowStagesFoldIntoOther) {
+  QueryTrace trace("stats");
+  for (int i = 0; i < 32; ++i) {
+    // 32 distinct literal names would be unwieldy; reuse a handful and
+    // add distinct ones past the cap via indexed statics.
+    static const char* names[] = {
+        "s00", "s01", "s02", "s03", "s04", "s05", "s06", "s07",
+        "s08", "s09", "s10", "s11", "s12", "s13", "s14", "s15",
+        "s16", "s17", "s18", "s19", "s20", "s21", "s22", "s23",
+        "s24", "s25", "s26", "s27", "s28", "s29", "s30", "s31"};
+    trace.AddSpan(names[i], 10);
+  }
+  const std::string line = trace.Describe();
+  EXPECT_NE(line.find("s15:10"), std::string::npos);
+  EXPECT_EQ(line.find("s16:"), std::string::npos);
+  EXPECT_NE(line.find("other:160"), std::string::npos);  // 16 * 10
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+
+std::mutex g_slow_lines_mu;
+std::vector<std::string>* g_slow_lines = nullptr;
+
+void CaptureSlowLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_slow_lines_mu);
+  if (g_slow_lines != nullptr) g_slow_lines->push_back(line);
+}
+
+class SlowQueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      std::lock_guard<std::mutex> lock(g_slow_lines_mu);
+      g_slow_lines = &lines_;
+    }
+    SetSlowQueryLogSink(&CaptureSlowLine);
+  }
+  void TearDown() override {
+    SetSlowQueryLogSink(nullptr);
+    SetSlowQueryThresholdNs(0);
+    std::lock_guard<std::mutex> lock(g_slow_lines_mu);
+    g_slow_lines = nullptr;
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(SlowQueryLogTest, FiresAtThreshold) {
+  SetSlowQueryThresholdNs(1);  // every query is slow
+  {
+    QueryTrace trace("release_cc");
+    trace.set_target("g0");
+    trace.AddSpan("admit", 5);
+  }
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("slow_query verb=release_cc target=g0"),
+            std::string::npos);
+  EXPECT_NE(lines_[0].find("total_ns="), std::string::npos);
+  EXPECT_NE(lines_[0].find("spans=admit:5"), std::string::npos);
+}
+
+TEST_F(SlowQueryLogTest, NeverFiresOnFastQueries) {
+  SetSlowQueryThresholdNs(1000000000000LL);  // 1000 s: nothing qualifies
+  {
+    QueryTrace trace("release_cc");
+    trace.AddSpan("admit", 5);
+  }
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(SlowQueryLogTest, DisabledByNonPositiveThreshold) {
+  SetSlowQueryThresholdNs(0);
+  { QueryTrace trace("release_cc"); }
+  SetSlowQueryThresholdNs(-7);
+  { QueryTrace trace("release_cc"); }
+  EXPECT_TRUE(lines_.empty());
+}
+
+}  // namespace
+}  // namespace nodedp

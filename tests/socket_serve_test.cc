@@ -21,12 +21,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <regex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/release_server.h"
 #include "serve/socket_client.h"
@@ -420,6 +423,179 @@ TEST(ProtocolTest, CarriageReturnIsTolerated) {
   ReleaseServer server(1);
   const ProtocolReply reply = HandleRequestLine(server, "quit\r");
   EXPECT_EQ(reply.response, "ok bye");
+}
+
+// --- Observability: metrics verb, stats summary, counter movement. ---
+//
+// The metrics registry is process-global, so every assertion on counter
+// or histogram movement is delta-based: snapshot, act, snapshot again.
+// Absolute values would couple these tests to whatever ran before them
+// in this binary.
+
+double CounterValue(const std::string& name,
+                    const MetricsRegistry::Labels& labels) {
+  return MetricsRegistry::Default().GetCounter(name, labels, "")->Value();
+}
+
+long long RequestCount(const char* verb) {
+  return MetricsRegistry::Default()
+      .GetHistogram("nodedp_request_ns", {{"verb", verb}}, "",
+                    MetricsRegistry::LatencyBucketsNs())
+      ->TakeSnapshot()
+      .count;
+}
+
+TEST(ObservabilityTest, MetricsVerbReturnsPrometheusPayload) {
+  ReleaseServer server(1);
+  ASSERT_EQ(HandleRequestLine(server, "gen g gnp 60 1.5 5 2.0 8")
+                .response.substr(0, 2),
+            "ok");
+  ASSERT_EQ(HandleRequestLine(server, "release_cc g 0.5").response
+                .substr(0, 2),
+            "ok");
+  ASSERT_EQ(HandleRequestLine(server, "release_cc g 0.5 tier=approx")
+                .response.substr(0, 2),
+            "ok");
+
+  const ProtocolReply reply = HandleRequestLine(server, "metrics");
+  long long announced = 0;
+  ASSERT_EQ(std::sscanf(reply.response.c_str(), "ok metrics lines=%lld",
+                        &announced),
+            1);
+  ASSERT_FALSE(reply.payload.empty());
+  EXPECT_EQ(reply.payload.back(), '\n');
+  // The announced line count is the framing contract: clients drain
+  // exactly that many payload lines after the response line.
+  long long lines = 0;
+  for (const char c : reply.payload) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, announced);
+  // Payload lines can never be mistaken for response lines.
+  std::istringstream body(reply.payload);
+  std::string line;
+  while (std::getline(body, line)) {
+    EXPECT_NE(line.substr(0, 3), "ok ") << line;
+    EXPECT_NE(line.substr(0, 4), "err ") << line;
+  }
+  EXPECT_NE(reply.payload.find("# TYPE nodedp_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(reply.payload.find("# TYPE nodedp_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      reply.payload.find("nodedp_ledger_admissions_total{tier=\"approx\"}"),
+      std::string::npos);
+}
+
+TEST(ObservabilityTest, MetricsVerbRejectsOperands) {
+  ReleaseServer server(1);
+  EXPECT_EQ(HandleRequestLine(server, "metrics verbose").response,
+            "err usage: metrics");
+}
+
+TEST(ObservabilityTest, ReleaseCcMovesHistogramAndTierCounters) {
+  ReleaseServer server(1);
+  ASSERT_EQ(HandleRequestLine(server, "gen g gnp 60 1.5 5 4.0 8")
+                .response.substr(0, 2),
+            "ok");
+
+  const long long requests_before = RequestCount("release_cc");
+  const double exact_before =
+      CounterValue("nodedp_ledger_admissions_total", {{"tier", "exact"}});
+  const double approx_before =
+      CounterValue("nodedp_ledger_admissions_total", {{"tier", "approx"}});
+  const double epsilon_before =
+      CounterValue("nodedp_epsilon_spent_total", {{"tier", "exact"}});
+
+  ASSERT_EQ(HandleRequestLine(server, "release_cc g 0.5").response
+                .substr(0, 2),
+            "ok");
+  ASSERT_EQ(HandleRequestLine(server, "release_cc g 0.25 tier=approx")
+                .response.substr(0, 2),
+            "ok");
+
+  EXPECT_EQ(RequestCount("release_cc"), requests_before + 2);
+  EXPECT_DOUBLE_EQ(
+      CounterValue("nodedp_ledger_admissions_total", {{"tier", "exact"}}),
+      exact_before + 1.0);
+  EXPECT_DOUBLE_EQ(
+      CounterValue("nodedp_ledger_admissions_total", {{"tier", "approx"}}),
+      approx_before + 1.0);
+  EXPECT_DOUBLE_EQ(
+      CounterValue("nodedp_epsilon_spent_total", {{"tier", "exact"}}),
+      epsilon_before + 0.5);
+}
+
+TEST(ObservabilityTest, RefusalMovesTheRefusalCounter) {
+  ReleaseServer server(1);
+  ASSERT_EQ(HandleRequestLine(server, "gen g gnp 60 1.5 5 1.0 8")
+                .response.substr(0, 2),
+            "ok");
+  const double refusals_before =
+      CounterValue("nodedp_ledger_refusals_total", {});
+  const double errors_before = CounterValue("nodedp_request_errors_total",
+                                            {{"verb", "release_cc"}});
+  // Budget is 1.0: the second 0.75 query must be refused.
+  ASSERT_EQ(HandleRequestLine(server, "release_cc g 0.75").response
+                .substr(0, 2),
+            "ok");
+  const std::string refused =
+      HandleRequestLine(server, "release_cc g 0.75").response;
+  ASSERT_EQ(refused.substr(0, 3), "err");
+  EXPECT_DOUBLE_EQ(CounterValue("nodedp_ledger_refusals_total", {}),
+                   refusals_before + 1.0);
+  EXPECT_DOUBLE_EQ(CounterValue("nodedp_request_errors_total",
+                                {{"verb", "release_cc"}}),
+                   errors_before + 1.0);
+}
+
+TEST(ObservabilityTest, BareStatsPrintsRegistrySummary) {
+  ReleaseServer server(1);
+  ASSERT_EQ(HandleRequestLine(server, "gen a gnp 60 1.5 5 2.0 8")
+                .response.substr(0, 2),
+            "ok");
+  ASSERT_EQ(HandleRequestLine(server, "gen b gnp 40 1.5 6 2.0 8")
+                .response.substr(0, 2),
+            "ok");
+  const std::string summary = HandleRequestLine(server, "stats").response;
+  // One stable line: docs/SERVING.md documents this exact shape.
+  EXPECT_TRUE(std::regex_match(
+      summary,
+      std::regex("ok graphs=2 memory_bytes=[0-9]+ mapped_bytes=[0-9]+ "
+                 "cache_bytes=[0-9]+ cache_cap=[0-9]+ cache_evictions=[0-9]+ "
+                 "refusals=0")))
+      << summary;
+}
+
+TEST(ObservabilityTest, MetricsPayloadStreamsOverTheSocket) {
+  ReleaseServer server(1);
+  SocketServer socket_server(&server);
+  ASSERT_TRUE(socket_server.Start().ok());
+  auto client = SocketClient::Connect("127.0.0.1", socket_server.port(),
+                                      kClientTimeoutMs);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_EQ(MustRequest(*client, "gen g gnp 60 1.5 5 2.0 8").substr(0, 2),
+            "ok");
+  ASSERT_EQ(MustRequest(*client, "release_cc g 0.5").substr(0, 2), "ok");
+  const std::string response = MustRequest(*client, "metrics");
+  long long announced = 0;
+  ASSERT_EQ(
+      std::sscanf(response.c_str(), "ok metrics lines=%lld", &announced), 1);
+  ASSERT_GT(announced, 0);
+  bool saw_request_histogram = false;
+  for (long long i = 0; i < announced; ++i) {
+    const Result<std::string> line = client->ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    if (line->find("# TYPE nodedp_request_ns histogram") !=
+        std::string::npos) {
+      saw_request_histogram = true;
+    }
+  }
+  EXPECT_TRUE(saw_request_histogram);
+  // The connection is still usable: framing consumed exactly the payload.
+  EXPECT_EQ(MustRequest(*client, "budget g").substr(0, 2), "ok");
+  socket_server.Stop();
 }
 
 // --- Lifecycle. ---
