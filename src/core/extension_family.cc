@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <utility>
@@ -11,6 +13,7 @@
 #include "graph/connectivity.h"
 #include "graph/subgraph.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -33,6 +36,19 @@ Histogram* LpSolveNsHistogram() {
   static Histogram* h = MetricsRegistry::Default().GetHistogram(
       "nodedp_family_lp_solve_ns",
       "Wall-ns per forest-polytope LP solve (one grid cell)",
+      MetricsRegistry::LatencyBucketsNs());
+  return h;
+}
+
+// The straggler tail of a multi-component batch: wall-ns between the
+// second-to-last and the last component settling its final cell. Near zero
+// when LPT dispatch keeps the pool balanced; a wide gap means one component
+// serialized the end of the warm (docs/OBSERVABILITY.md).
+Histogram* WarmStragglerNsHistogram() {
+  static Histogram* h = MetricsRegistry::Default().GetHistogram(
+      "nodedp_family_warm_straggler_ns",
+      "Wall-ns between the second-to-last and last component finishing a "
+      "Values()/Warm() batch",
       MetricsRegistry::LatencyBucketsNs());
   return h;
 }
@@ -60,18 +76,91 @@ void SortedErase(std::vector<double>& v, double x) {
 
 }  // namespace
 
+// One Values() batch's dynamic claim queue. The owner's workers claim
+// through Next(); concurrent callers blocked on one of the batch's cells
+// find it via Find() (against the family's inflight_batches_ registry) and
+// push it into the demand lane through Demand(), so demanded cells are
+// solved next regardless of where LPT put them. The queue only reorders
+// *claims*: each cell is returned exactly once and its outcome lands in
+// its own index-addressed slot, so results never depend on demand timing.
+struct ExtensionFamily::BatchQueue {
+  std::mutex mu;
+  // Cell indices in claim order (LPT, or the legacy index order); head is
+  // the next unclaimed position.
+  std::vector<std::int64_t> order;
+  std::size_t head = 0;
+  // Demanded cells jump the queue, FIFO among themselves.
+  std::deque<std::int64_t> demanded;
+  std::vector<char> claimed;  // by cell index
+  // (component, delta) -> cell index, sorted; immutable after the batch
+  // registers (one bulk build + sort — deliberately not a node-based map:
+  // a warm touches tens of thousands of cells and per-cell node churn is
+  // measurable). Read without the queue mutex.
+  std::vector<std::pair<std::pair<int, double>, std::int64_t>> cells_by_id;
+
+  explicit BatchQueue(std::vector<std::int64_t> claim_order)
+      : order(std::move(claim_order)), claimed(order.size(), 0) {}
+
+  // The cell's index within this batch, or -1 if the batch doesn't own it.
+  std::int64_t Find(int component, double delta) const {
+    const std::pair<std::pair<int, double>, std::int64_t> probe(
+        {component, delta}, 0);
+    const auto it = std::lower_bound(
+        cells_by_id.begin(), cells_by_id.end(), probe,
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it == cells_by_id.end() || it->first != probe.first) return -1;
+    return it->second;
+  }
+
+  // The next unclaimed cell: demand lane first, then the planned order.
+  // The batch issues exactly order.size() claims, so every cell is
+  // returned exactly once.
+  std::int64_t Next() {
+    std::lock_guard<std::mutex> lock(mu);
+    while (!demanded.empty()) {
+      const std::int64_t cell = demanded.front();
+      demanded.pop_front();
+      if (!claimed[static_cast<std::size_t>(cell)]) {
+        claimed[static_cast<std::size_t>(cell)] = 1;
+        return cell;
+      }
+    }
+    while (head < order.size()) {
+      const std::int64_t cell = order[head++];
+      if (!claimed[static_cast<std::size_t>(cell)]) {
+        claimed[static_cast<std::size_t>(cell)] = 1;
+        return cell;
+      }
+    }
+    NODEDP_CHECK_MSG(false, "BatchQueue: more claims than cells");
+    return -1;
+  }
+
+  void Demand(std::int64_t cell) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!claimed[static_cast<std::size_t>(cell)]) demanded.push_back(cell);
+  }
+};
+
 ExtensionFamily::ExtensionFamily(const Graph& g,
                                  const ExtensionOptions& options)
     : num_vertices_(g.NumVertices()), options_(options) {
   // Eager path: partition, then induce every component now, sharded across
   // the pool, straight from the caller's graph (no host copy). Each item
   // touches only its own component, so the resulting family is identical
-  // at any width.
+  // at any width. Inductions are claimed largest-first (|C| + m_C): a
+  // giant component dispatched last would serialize the constructor's tail
+  // behind one worker.
   InitComponents(g, /*retain_host=*/false);
-  ParallelFor(static_cast<std::int64_t>(components_.size()),
-              [this, &g](std::int64_t i) {
-                EnsureInduced(*components_[static_cast<std::size_t>(i)], g);
-              });
+  std::vector<double> costs;
+  costs.reserve(components_.size());
+  for (const auto& component : components_) costs.push_back(component->weight);
+  ParallelFor(
+      static_cast<std::int64_t>(components_.size()),
+      [this, &g](std::int64_t i) {
+        EnsureInduced(*components_[static_cast<std::size_t>(i)], g);
+      },
+      CostOrder(costs));
 }
 
 ExtensionFamily::ExtensionFamily(const Graph& g,
@@ -233,6 +322,7 @@ ExtensionFamily::ExtensionFamily(const Graph& graph,
     components_.push_back(std::move(p.state));
   }
   NODEDP_DCHECK(static_cast<int>(f_sf_total_) == SpanningForestSize(graph));
+  AssignComponentWeights(graph);
 
   remaining_inductions_.store(to_induce, std::memory_order_relaxed);
   if (to_induce > 0) {
@@ -261,6 +351,7 @@ void ExtensionFamily::InitComponents(const Graph& g, bool retain_host) {
       auto state = std::make_unique<ComponentState>();
       state->graph = g;
       state->f_sf = f_sf_total_;
+      state->weight = g.NumVertices() + g.NumEdges();
       state->induced.store(true, std::memory_order_release);
       components_.push_back(std::move(state));
     }
@@ -282,8 +373,17 @@ void ExtensionFamily::InitComponents(const Graph& g, bool retain_host) {
   }
   for (int v = 0; v < g.NumVertices(); ++v) {
     const int index = kept[labels[v]];
-    if (index >= 0) components_[static_cast<std::size_t>(index)]
-        ->vertices.push_back(v);
+    if (index < 0) continue;
+    ComponentState& state = *components_[static_cast<std::size_t>(index)];
+    state.vertices.push_back(v);
+    // Accumulate the degree sum; finalized to |C| + m_C below. This rides
+    // the existing vertex pass — the weight costs no extra traversal.
+    state.weight += g.Degree(v);
+  }
+  for (const auto& component : components_) {
+    component->weight =
+        static_cast<double>(component->vertices.size()) +
+        component->weight / 2.0;
   }
   remaining_inductions_.store(static_cast<int>(components_.size()),
                               std::memory_order_relaxed);
@@ -291,6 +391,38 @@ void ExtensionFamily::InitComponents(const Graph& g, bool retain_host) {
     host_graph_ = g;
     host_released_ = false;
   }
+}
+
+void ExtensionFamily::AssignComponentWeights(const Graph& host) {
+  // |C| + m_C per component, m_C from the degree sum over the component's
+  // vertex list. O(sum |C|) = O(n): the same order as assembling the
+  // partition itself.
+  for (const auto& component : components_) {
+    double degree_sum = 0.0;
+    for (int v : component->vertices) degree_sum += host.Degree(v);
+    component->weight =
+        static_cast<double>(component->vertices.size()) + degree_sum / 2.0;
+  }
+}
+
+std::vector<std::int64_t> ExtensionFamily::CostOrder(
+    const std::vector<double>& costs) const {
+  std::vector<std::int64_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  if (options_.dispatch_order ==
+      ExtensionOptions::DispatchOrder::kIndexOrdered) {
+    return order;  // legacy claim order, for A/B measurement
+  }
+  // Longest-processing-time-first; ties resolve to the lower index so the
+  // claim order is a pure function of the costs.
+  std::sort(order.begin(), order.end(),
+            [&costs](std::int64_t a, std::int64_t b) {
+              const double ca = costs[static_cast<std::size_t>(a)];
+              const double cb = costs[static_cast<std::size_t>(b)];
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  return order;
 }
 
 void ExtensionFamily::EnsureInduced(ComponentState& component,
@@ -403,6 +535,7 @@ Result<std::vector<double>> ExtensionFamily::Values(
     // in which case we wait for that cell instead of re-solving it.
     std::vector<CellTask> cells;
     std::vector<std::pair<int, double>> awaited;
+    std::shared_ptr<BatchQueue> queue;
     {
       std::lock_guard<std::mutex> lock(mu_);
       std::vector<std::set<double>> queued(components_.size());
@@ -420,6 +553,20 @@ Result<std::vector<double>> ExtensionFamily::Values(
           }
           if (SortedContains(component.inflight_deltas, delta)) {
             awaited.emplace_back(static_cast<int>(c), delta);
+            // Demand-first warming: bump the cell to the front of its
+            // owner's claim queue, so we unblock as soon as the owner's
+            // pool can reach it instead of at the owner's schedule luck.
+            // Live batches are few (one per concurrent Values() caller),
+            // so the scan is short.
+            for (const std::shared_ptr<BatchQueue>& batch :
+                 inflight_batches_) {
+              const std::int64_t cell = batch->Find(static_cast<int>(c),
+                                                    delta);
+              if (cell >= 0) {
+                batch->Demand(cell);
+                break;
+              }
+            }
             continue;
           }
           SortedInsert(component.inflight_deltas, delta);
@@ -428,29 +575,103 @@ Result<std::vector<double>> ExtensionFamily::Values(
                                    component.cut_pool});
         }
       }
+      if (!cells.empty()) {
+        // Estimated LP cost per cell: component weight (|C| + m_C) times
+        // the component's unsolved cells in this batch — a component with
+        // several cold grid cells is the batch's long pole even when each
+        // single solve is moderate. Claims go out in LPT order of that
+        // estimate (or planning order under kIndexOrdered).
+        std::vector<double> unsolved(components_.size(), 0.0);
+        for (const CellTask& cell : cells) {
+          unsolved[static_cast<std::size_t>(cell.component)] += 1.0;
+        }
+        std::vector<double> costs;
+        costs.reserve(cells.size());
+        for (const CellTask& cell : cells) {
+          costs.push_back(
+              components_[static_cast<std::size_t>(cell.component)]->weight *
+              unsolved[static_cast<std::size_t>(cell.component)]);
+        }
+        queue = std::make_shared<BatchQueue>(CostOrder(costs));
+        queue->cells_by_id.reserve(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          queue->cells_by_id.emplace_back(
+              std::make_pair(cells[i].component, cells[i].delta),
+              static_cast<std::int64_t>(i));
+        }
+        std::sort(queue->cells_by_id.begin(), queue->cells_by_id.end());
+        inflight_batches_.push_back(queue);
+      }
     }
     count_settled_stats = false;
 
-    // Evaluate our claimed cells concurrently, outside the lock. A cell's
-    // first act is inducing its component (no-op once done), which is what
-    // pipelines induction with fast-path probes and LP solves during a
-    // warm. Each cell otherwise reads only its own snapshots plus
-    // component fields immutable after induction, so the outcomes are
-    // independent of the schedule — and of any merges other Values()
-    // callers complete meanwhile.
-    const std::vector<CellOutcome> outcomes = ParallelMap(
-        static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
-          CellTask& cell = cells[static_cast<std::size_t>(i)];
-          ComponentState& component =
-              *components_[static_cast<std::size_t>(cell.component)];
-          EnsureInduced(component, host_graph_);
-          return EvaluateCell(component, cell);
-        });
+    // Evaluate our claimed cells concurrently, outside the lock. Each loop
+    // item claims one cell from the batch queue — demand lane first, then
+    // cost order — and a cell's first act is inducing its component (no-op
+    // once done), which is what pipelines induction with fast-path probes
+    // and LP solves during a warm. Each cell otherwise reads only its own
+    // snapshots plus component fields immutable after induction, and
+    // writes its own outcome slot, so the outcomes are independent of the
+    // claim schedule — and of any merges other Values() callers complete
+    // meanwhile. As each cell settles it is published and its claim
+    // released immediately, so callers racing this batch unblock per cell,
+    // not at the end of the batch; the publication also records when each
+    // component finishes its last cell, feeding the straggler histogram.
+    std::vector<CellOutcome> outcomes(cells.size());
+    std::vector<int> cells_left(components_.size(), 0);
+    for (const CellTask& cell : cells) {
+      ++cells_left[static_cast<std::size_t>(cell.component)];
+    }
+    int components_finished = 0;
+    std::chrono::steady_clock::time_point prev_finish;
+    std::chrono::steady_clock::time_point last_finish;
+    ParallelFor(static_cast<std::int64_t>(cells.size()), [&](std::int64_t) {
+      const std::int64_t i = queue->Next();
+      CellTask& cell = cells[static_cast<std::size_t>(i)];
+      ComponentState& component =
+          *components_[static_cast<std::size_t>(cell.component)];
+      EnsureInduced(component, host_graph_);
+      outcomes[static_cast<std::size_t>(i)] = EvaluateCell(component, cell);
+      std::lock_guard<std::mutex> publish_lock(mu_);
+      PublishCellLocked(cell, outcomes[static_cast<std::size_t>(i)]);
+      if (--cells_left[static_cast<std::size_t>(cell.component)] == 0) {
+        // Publications are serialized under mu_, so each finish observed
+        // here is the latest so far. The clock read lives in this branch
+        // (once per component, not per cell) — a warm on a many-tiny-
+        // components graph has orders of magnitude more cells than
+        // stragglers worth timing.
+        prev_finish = last_finish;
+        last_finish = std::chrono::steady_clock::now();
+        ++components_finished;
+      }
+    });
+    if (components_finished >= 2) {
+      const long long straggler_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(last_finish -
+                                                               prev_finish)
+              .count();
+      WarmStragglerNsHistogram()->Observe(static_cast<double>(straggler_ns));
+      if (QueryTrace* trace = QueryTrace::Current()) {
+        trace->AddSpan("warm_straggler", straggler_ns);
+      }
+    }
 
-    // Merge in cell order — the one place batch state mutates — back under
-    // the lock. The dedup set over a component's cut pool is built at most
-    // once per component, on first use.
+    // Merge the order-sensitive remainder in fixed cell order — cut-pool
+    // appends and cumulative stats — back under the lock. Cell values,
+    // watermarks, and claim releases already happened per cell in
+    // PublishCellLocked; nothing a waiter blocks on is left here, but the
+    // cut pool must still grow in planning order so the post-call family
+    // state is bit-identical at any width and dispatch order. The dedup
+    // set over a component's cut pool is built at most once per component,
+    // on first use.
     std::unique_lock<std::mutex> lock(mu_);
+    if (queue != nullptr) {
+      // Every cell is settled and its claim released; the batch no longer
+      // owns anything a waiter could demand.
+      inflight_batches_.erase(std::remove(inflight_batches_.begin(),
+                                          inflight_batches_.end(), queue),
+                              inflight_batches_.end());
+    }
     std::vector<std::optional<std::set<std::vector<int>>>> pooled_by_component(
         components_.size());
     Status first_error = Status::OK();
@@ -462,8 +683,6 @@ Result<std::vector<double>> ExtensionFamily::Values(
       stats_.cut_rounds += outcome.cut_rounds;
       stats_.cuts_added += outcome.cuts_added;
       stats_.simplex_iterations += outcome.simplex_iterations;
-      component.fast_path_failed_at =
-          std::max(component.fast_path_failed_at, outcome.fast_path_failed_at);
       if (!outcome.ok) {
         if (first_error.ok()) {
           first_error = Status::ResourceExhausted(outcome.error);
@@ -472,15 +691,9 @@ Result<std::vector<double>> ExtensionFamily::Values(
       }
       if (outcome.fast_certificate) {
         ++stats_.fast_certificates;
-        component.exact_from =
-            std::min(component.exact_from, std::floor(cell.delta));
         continue;
       }
       ++stats_.lp_evaluations;
-      component.cached.emplace(cell.delta, outcome.value);
-      if (std::fabs(outcome.value - component.f_sf) < 1e-9) {
-        component.exact_from = std::min(component.exact_from, cell.delta);
-      }
       if (!outcome.new_cuts.empty()) {
         std::optional<std::set<std::vector<int>>>& pooled =
             pooled_by_component[static_cast<std::size_t>(cell.component)];
@@ -492,20 +705,14 @@ Result<std::vector<double>> ExtensionFamily::Values(
         }
       }
     }
-    for (const CellTask& cell : cells) {
-      SortedErase(
-          components_[static_cast<std::size_t>(cell.component)]
-              ->inflight_deltas,
-          cell.delta);
-    }
     MaybeReleaseHostGraphLocked();
-    if (!cells.empty()) cells_cv_.notify_all();
     if (!first_error.ok()) return first_error;
 
     if (!awaited.empty()) {
       // Block only on the cells we need: wait for the concurrent owners of
-      // the awaited cells to merge (or fail), never for their whole
+      // the awaited cells to publish them (or fail), never for their whole
       // batches.
+      ++cell_waiters_;
       cells_cv_.wait(lock, [&] {
         for (const std::pair<int, double>& id : awaited) {
           if (SortedContains(
@@ -517,6 +724,7 @@ Result<std::vector<double>> ExtensionFamily::Values(
         }
         return true;
       });
+      --cell_waiters_;
 
       // If an awaited owner failed, its cells are still unsettled: loop
       // back and claim them ourselves. With no awaited cells every pair
@@ -553,6 +761,31 @@ Result<std::vector<double>> ExtensionFamily::Values(
     }
     return totals;
   }
+}
+
+void ExtensionFamily::PublishCellLocked(const CellTask& cell,
+                                        const CellOutcome& outcome) {
+  ComponentState& component =
+      *components_[static_cast<std::size_t>(cell.component)];
+  component.fast_path_failed_at =
+      std::max(component.fast_path_failed_at, outcome.fast_path_failed_at);
+  if (outcome.ok) {
+    if (outcome.fast_certificate) {
+      component.exact_from =
+          std::min(component.exact_from, std::floor(cell.delta));
+    } else {
+      component.cached.emplace(cell.delta, outcome.value);
+      if (std::fabs(outcome.value - component.f_sf) < 1e-9) {
+        component.exact_from = std::min(component.exact_from, cell.delta);
+      }
+    }
+  }
+  // Release the claim either way: a failed cell simply becomes claimable
+  // again, and the awaiting caller re-plans and solves it itself. Only
+  // broadcast when someone is actually parked — the uncontended warm
+  // publishes tens of thousands of cells and pays nothing here.
+  SortedErase(component.inflight_deltas, cell.delta);
+  if (cell_waiters_ > 0) cells_cv_.notify_all();
 }
 
 ExtensionFamily::CellOutcome ExtensionFamily::EvaluateCell(

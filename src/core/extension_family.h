@@ -26,17 +26,35 @@
 // pipelines induction, fast-path probes, and LP solves instead of running
 // them as serial phases. The host-graph copy kept for lazy induction is
 // released as soon as every component has been induced.
+//
+// Scheduling is cost-aware (docs/ARCHITECTURE.md "Scheduling"). Every
+// component carries the weight |C| + m_C (free: both terms fall out of the
+// partition pass). Eager inductions dispatch largest-first, and a batch's
+// unsettled cells dispatch by estimated LP cost — component weight times
+// the component's unsolved cells in the batch — so on power-law-skewed
+// inputs the giant component starts immediately instead of serializing the
+// tail behind a pool-width's worth of luck. On top of that, warming is
+// *demand-first*: a Values() caller that finds its cell claimed by a
+// concurrent batch bumps that cell to the front of the owner's claim
+// queue, and each cell's value is published (and its in-flight claim
+// released) the moment the cell settles — so queries racing a warm
+// unblock as early as possible rather than at the end of the owner's
+// whole batch. None of this changes any result: cells still write
+// index-addressed slots, values/watermarks are order-independent, and the
+// order-sensitive cut-pool merge still happens in fixed cell order.
 
 #ifndef NODEDP_CORE_EXTENSION_FAMILY_H_
 #define NODEDP_CORE_EXTENSION_FAMILY_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/forest_polytope.h"
@@ -192,6 +210,11 @@ class ExtensionFamily {
     std::vector<int> vertices;
     // |C| - 1, by the connectivity invariant — no spanning-forest pass.
     double f_sf = 0.0;
+    // |C| + m_C — the LPT cost estimate driving induction and cell
+    // dispatch order. Both terms fall out of the partition pass (m_C from
+    // the degree sum), so it costs no extra traversal. Fixed after
+    // construction.
+    double weight = 0.0;
     // The induced subgraph. Written once, inside `induce_once`; readable
     // once `induced` is true (acquire/release pairing).
     Graph graph;
@@ -213,12 +236,24 @@ class ExtensionFamily {
   };
 
   // The shared front half of both constructors: one ComponentLabels pass
-  // partitions the vertices, sets every component's f_sf to |C| - 1, and
-  // derives f_sf_total_ = n - #components — the constructor's only
-  // whole-graph traversal. `retain_host` copies g into host_graph_ for
-  // lazy induction (the deferred constructor); the eager constructor
-  // induces straight from its argument instead.
+  // partitions the vertices, sets every component's f_sf to |C| - 1 and
+  // weight to |C| + m_C, and derives f_sf_total_ = n - #components — the
+  // constructor's only whole-graph traversal. `retain_host` copies g into
+  // host_graph_ for lazy induction (the deferred constructor); the eager
+  // constructor induces straight from its argument instead.
   void InitComponents(const Graph& g, bool retain_host);
+
+  // Sets every component's weight to |C| + m_C from `host`'s degrees —
+  // the incremental constructor's weight pass (InitComponents computes
+  // weights inline; the incremental path assembles components_ itself).
+  void AssignComponentWeights(const Graph& host);
+
+  // Claim order for the eager constructor's induction loop and for batch
+  // cells: indices sorted by descending cost, ties broken ascending so the
+  // order is deterministic. Identity when options_.dispatch_order is
+  // kIndexOrdered.
+  std::vector<std::int64_t> CostOrder(
+      const std::vector<double>& costs) const;
 
   // Induces `component` from `host`, exactly once across all threads
   // (later callers return immediately, or wait for the one in-flight
@@ -261,6 +296,19 @@ class ExtensionFamily {
   CellOutcome EvaluateCell(const ComponentState& component,
                            CellTask& task) const;
 
+  // Per-batch dynamic claim queue (defined in the .cc): LPT order with a
+  // demand-first fast lane that concurrent callers awaiting a cell push
+  // into. Shared between the owning batch's workers and the registry below.
+  struct BatchQueue;
+
+  // Publishes one settled cell under mu_ — value cache, watermark,
+  // fast-path floor — and releases its in-flight claim so awaiting callers
+  // unblock per cell, not per batch. Order-independent by construction:
+  // cache insert of a uniquely-owned key, min over the watermark, max over
+  // the floor. The order-sensitive cut-pool append stays in the batch's
+  // fixed-order merge.
+  void PublishCellLocked(const CellTask& cell, const CellOutcome& outcome);
+
   int num_vertices_ = 0;
   double f_sf_total_ = 0.0;
   ExtensionOptions options_;
@@ -279,6 +327,18 @@ class ExtensionFamily {
   // Signaled whenever a batch releases its in-flight cells (see
   // ComponentState::inflight_deltas).
   std::condition_variable cells_cv_;
+  // Callers currently parked on cells_cv_, guarded by mu_. Per-cell
+  // publication only broadcasts when this is non-zero, so the uncontended
+  // warm never pays a notify per cell.
+  int cell_waiters_ = 0;
+  // Live batch queues, guarded by mu_ — one entry per Values() batch with
+  // unclaimed cells, registered at planning, deregistered at that batch's
+  // merge. An awaiting caller asks each live batch for its cell (an
+  // immutable per-batch sorted index, so registration is one bulk build
+  // instead of a map node per cell) and bumps it to the front of the
+  // owner's queue (demand-first warming). Lock order: mu_ then the queue's
+  // own mutex, never the reverse.
+  std::vector<std::shared_ptr<BatchQueue>> inflight_batches_;
   Stats stats_;
 
   // WarmAsync state.

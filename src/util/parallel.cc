@@ -1,7 +1,12 @@
 #include "util/parallel.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
+
+#include "obs/metrics.h"
+#include "util/check.h"
 
 namespace nodedp {
 
@@ -14,6 +19,18 @@ thread_local bool tls_running_items = false;
 // Innermost ScopedThreadPool override on this thread.
 thread_local ThreadPool* tls_pool_override = nullptr;
 
+// Wall-ns between a loop being posted and each participating thread's first
+// claim (docs/OBSERVABILITY.md). One observation per thread per loop — the
+// caller contributes the ~0 floor, workers contribute their wake-up
+// latency — so the hot claim loop itself stays clock-free.
+Histogram* QueueWaitNsHistogram() {
+  static Histogram* h = MetricsRegistry::Default().GetHistogram(
+      "nodedp_pool_queue_wait_ns",
+      "Wall-ns from loop post to each participating thread's first claim",
+      MetricsRegistry::LatencyBucketsNs());
+  return h;
+}
+
 }  // namespace
 
 // One indexed loop in flight. Items are claimed by `next`; `completed`
@@ -23,6 +40,12 @@ thread_local ThreadPool* tls_pool_override = nullptr;
 struct ThreadPool::Job {
   std::int64_t n = 0;
   const std::function<void(std::int64_t)>* fn = nullptr;
+  // Optional claim permutation: position k in the claim sequence runs item
+  // (*order)[k]. Null means identity (claim order == item order).
+  const std::vector<std::int64_t>* order = nullptr;
+  // When the loop was posted; each thread's first claim observes the gap
+  // into nodedp_pool_queue_wait_ns.
+  std::chrono::steady_clock::time_point posted;
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> completed{0};
   // Workers currently inside RunItems for this job; guarded by the pool's
@@ -34,16 +57,37 @@ struct ThreadPool::Job {
   std::exception_ptr error;
 };
 
-int ThreadCountFromEnv() {
-  if (const char* env = std::getenv("NODEDP_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0 && parsed <= 4096) {
-      return static_cast<int>(parsed);
-    }
-  }
+int ThreadCountFromEnv(const char* value, std::string* warning) {
+  if (warning != nullptr) warning->clear();
   const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware > 0 ? static_cast<int>(hardware) : 1;
+  const int fallback = hardware > 0 ? static_cast<int>(hardware) : 1;
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end != value && *end == '\0' && parsed > 0 && parsed <= 4096) {
+    return static_cast<int>(parsed);
+  }
+  if (warning != nullptr) {
+    *warning = std::string("nodedp: ignoring invalid NODEDP_THREADS=\"") +
+               value + "\" (want an integer in [1, 4096]); using " +
+               std::to_string(fallback) + " thread(s)";
+  }
+  return fallback;
+}
+
+int ThreadCountFromEnv() {
+  std::string warning;
+  const int count =
+      ThreadCountFromEnv(std::getenv("NODEDP_THREADS"), &warning);
+  if (!warning.empty()) {
+    // Once per process, not per pool: the global pool reads this lazily,
+    // but tests and benches may probe it repeatedly.
+    static std::once_flag warned;
+    std::call_once(warned, [&warning] {
+      std::fprintf(stderr, "%s\n", warning.c_str());
+    });
+  }
+  return count;
 }
 
 ThreadPool::ThreadPool(int num_threads)
@@ -96,9 +140,24 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunItems(Job& job) {
   const bool was_running = tls_running_items;
   tls_running_items = true;
+  bool observed_wait = false;
   for (;;) {
-    const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.n) break;
+    const std::int64_t claim =
+        job.next.fetch_add(1, std::memory_order_relaxed);
+    if (claim >= job.n) break;
+    if (!observed_wait) {
+      // First claim on this thread: how long the posted loop waited for us.
+      observed_wait = true;
+      if (MetricsEnabled()) {
+        QueueWaitNsHistogram()->Observe(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - job.posted)
+                .count()));
+      }
+    }
+    const std::int64_t i =
+        job.order != nullptr ? (*job.order)[static_cast<std::size_t>(claim)]
+                             : claim;
     try {
       (*job.fn)(i);
     } catch (...) {
@@ -122,17 +181,26 @@ namespace {
 
 // Sequential execution with the nested-call guard set, so fn's own parallel
 // loops also stay inline. Matches the pool path's exception contract: every
-// item runs even after one throws, and the lowest-index exception is
-// rethrown at the end — so side effects are identical at any width.
-void RunInline(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+// item runs even after one throws, and the lowest-*index* exception is
+// rethrown at the end (not the first one encountered — under a claim
+// permutation those differ) — so side effects are identical at any width
+// and any dispatch order.
+void RunInline(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+               const std::vector<std::int64_t>* order) {
   const bool was_running = tls_running_items;
   tls_running_items = true;
   std::exception_ptr error;
-  for (std::int64_t i = 0; i < n; ++i) {
+  std::int64_t error_index = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t claim = 0; claim < n; ++claim) {
+    const std::int64_t i =
+        order != nullptr ? (*order)[static_cast<std::size_t>(claim)] : claim;
     try {
       fn(i);
     } catch (...) {
-      if (!error) error = std::current_exception();
+      if (i < error_index) {
+        error_index = i;
+        error = std::current_exception();
+      }
     }
   }
   tls_running_items = was_running;
@@ -143,16 +211,39 @@ void RunInline(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
 
 void ThreadPool::For(std::int64_t n,
                      const std::function<void(std::int64_t)>& fn) {
+  ForImpl(n, fn, nullptr);
+}
+
+void ThreadPool::For(std::int64_t n,
+                     const std::function<void(std::int64_t)>& fn,
+                     const std::vector<std::int64_t>& order) {
+  NODEDP_CHECK_EQ(static_cast<std::int64_t>(order.size()), n);
+#ifndef NDEBUG
+  // The permutation contract: every index exactly once. O(n), debug only.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i : order) {
+    NODEDP_CHECK(i >= 0 && i < n && !seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = 1;
+  }
+#endif
+  ForImpl(n, fn, &order);
+}
+
+void ThreadPool::ForImpl(std::int64_t n,
+                         const std::function<void(std::int64_t)>& fn,
+                         const std::vector<std::int64_t>* order) {
   if (n <= 0) return;
   if (num_threads_ == 1 || n == 1 || tls_running_items) {
     // Width-1 pool, trivial loop, or nested call from inside an item.
-    RunInline(n, fn);
+    RunInline(n, fn, order);
     return;
   }
 
   Job job;
   job.n = n;
   job.fn = &fn;
+  job.order = order;
+  job.posted = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (job_ != nullptr) {
@@ -160,7 +251,7 @@ void ThreadPool::For(std::int64_t n,
       // queueing: every loop in this library is correct at any width, and a
       // second caller is rare enough that simplicity wins over sharing.
       lock.unlock();
-      RunInline(n, fn);
+      RunInline(n, fn, order);
       return;
     }
     job_ = &job;

@@ -15,10 +15,19 @@
 //
 // Thread count. The global pool starts lazily on first use with
 // NODEDP_THREADS workers (env var; unset or invalid means the hardware
-// concurrency). NODEDP_THREADS=1 disables the pool entirely: every primitive
-// degrades to a plain sequential loop on the calling thread. Tests and
-// benchmarks that need a specific width construct their own ThreadPool and
-// install it with ScopedThreadPool.
+// concurrency — an invalid value additionally warns once on stderr).
+// NODEDP_THREADS=1 disables the pool entirely: every primitive degrades to a
+// plain sequential loop on the calling thread. Tests and benchmarks that
+// need a specific width construct their own ThreadPool and install it with
+// ScopedThreadPool.
+//
+// Scheduling. Dispatch is dynamic — an atomic claim counter, not static
+// partitioning — so item-cost imbalance is absorbed at any width. Callers
+// whose item costs are known (even roughly) can pass a claim permutation
+// (longest-processing-time-first) to For/ParallelFor: items are *claimed*
+// in permutation order but still write only their own index-addressed
+// slots, so the determinism contract above is untouched — only wall-clock
+// changes. See docs/ARCHITECTURE.md "Scheduling".
 //
 // Nesting. A ParallelFor issued from inside a pool worker runs inline on
 // that worker (no new tasks are enqueued), so nested parallel code cannot
@@ -40,6 +49,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -69,12 +79,24 @@ class ThreadPool {
   // item threw, rethrows the exception from the lowest-index failing item.
   void For(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+  // Dispatch-order overload: fn(i) still runs for every i in [0, n) exactly
+  // once, but items are claimed in `order`'s sequence — pass expensive items
+  // first (longest-processing-time-first) to shrink the straggler tail on
+  // skewed workloads. `order` must be a permutation of [0, n) (CHECKed in
+  // debug builds) and outlive the call. Results, side effects, and the
+  // lowest-index exception choice are identical to the unordered overload
+  // at any width: the permutation changes wall-clock, never outcomes.
+  void For(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+           const std::vector<std::int64_t>& order);
+
   // The process-wide pool, started lazily with ThreadCountFromEnv() workers.
   static ThreadPool& Global();
 
  private:
   struct Job;
 
+  void ForImpl(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+               const std::vector<std::int64_t>* order);
   void WorkerLoop();
   // Claims and runs items of `job` until the claim counter is exhausted.
   void RunItems(Job& job);
@@ -88,8 +110,17 @@ class ThreadPool {
 };
 
 // Width the global pool starts with: NODEDP_THREADS if set to a positive
-// integer, else std::thread::hardware_concurrency() (min 1).
+// integer <= 4096, else std::thread::hardware_concurrency() (min 1). A set
+// but invalid NODEDP_THREADS warns once on stderr, naming the rejected
+// value, before falling back — a silent fallback turned width typos into
+// mystery perf regressions.
 int ThreadCountFromEnv();
+
+// The parsing core of ThreadCountFromEnv, exposed for tests: interprets
+// `value` as NODEDP_THREADS would be (nullptr = unset). When the value is
+// rejected, `*warning` (if non-null) receives the exact one-line message
+// the env path prints to stderr; otherwise it is cleared.
+int ThreadCountFromEnv(const char* value, std::string* warning);
 
 // Installs `pool` as the pool used by ParallelFor/ParallelMap/... on this
 // thread for the scope's lifetime (nullptr restores the global pool).
@@ -116,6 +147,14 @@ int ParallelThreadCount();
 inline void ParallelFor(std::int64_t n,
                         const std::function<void(std::int64_t)>& fn) {
   CurrentThreadPool().For(n, fn);
+}
+
+// Dispatch-order variant (see ThreadPool::For): items claimed in `order`'s
+// sequence, outcomes identical to the unordered form at any width.
+inline void ParallelFor(std::int64_t n,
+                        const std::function<void(std::int64_t)>& fn,
+                        const std::vector<std::int64_t>& order) {
+  CurrentThreadPool().For(n, fn, order);
 }
 
 // Maps fn over [0, n), returning the results in index order. T needs only a

@@ -69,6 +69,56 @@ TEST(ThreadPoolTest, ExceptionPropagatesFromInlinePath) {
                std::logic_error);
 }
 
+TEST(ThreadPoolTest, DispatchOrderRunsEveryIndexExactlyOnce) {
+  // The claim permutation reorders dispatch, never coverage: every index
+  // still runs exactly once, at any width (including the inline path).
+  std::vector<std::int64_t> reversed(512);
+  for (std::int64_t i = 0; i < 512; ++i) reversed[i] = 511 - i;
+  for (int width : {1, 4}) {
+    ThreadPool pool(width);
+    std::vector<std::atomic<int>> counts(512);
+    pool.For(512, [&](std::int64_t i) { ++counts[i]; }, reversed);
+    for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, DispatchOrderWritesIndexAddressedSlots) {
+  // Results land by item index regardless of the claim permutation — the
+  // determinism contract's slot rule, under an adversarial order.
+  std::vector<std::int64_t> order(100);
+  for (std::int64_t i = 0; i < 100; ++i) order[i] = (i * 37) % 100;  // coprime
+  ThreadPool pool(4);
+  ScopedThreadPool scope(&pool);
+  std::vector<std::int64_t> slots(100, -1);
+  ParallelFor(100, [&](std::int64_t i) { slots[i] = i * i; }, order);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ThreadPoolTest, DispatchOrderExceptionStillLowestIndex) {
+  // A permutation that claims item 50 before item 7 must still rethrow
+  // item 7's exception — the deterministic choice is by item index, not
+  // claim order, on both the pooled and the inline path.
+  std::vector<std::int64_t> reversed(64);
+  for (std::int64_t i = 0; i < 64; ++i) reversed[i] = 63 - i;
+  for (int width : {1, 4}) {
+    ThreadPool pool(width);
+    for (int trial = 0; trial < 10; ++trial) {
+      try {
+        pool.For(64,
+                 [](std::int64_t i) {
+                   if (i == 7 || i == 50) {
+                     throw std::runtime_error("boom " + std::to_string(i));
+                   }
+                 },
+                 reversed);
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom 7") << "width=" << width;
+      }
+    }
+  }
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   ThreadPool pool(4);
   ScopedThreadPool scope(&pool);
@@ -121,6 +171,27 @@ TEST(ThreadPoolTest, EnvParsingRejectsGarbage) {
   }
   ASSERT_EQ(setenv("NODEDP_THREADS", "3", 1), 0);
   EXPECT_EQ(ThreadCountFromEnv(), 3);
+}
+
+TEST(ThreadPoolTest, EnvParsingWarnsNamingTheRejectedValue) {
+  // A rejected NODEDP_THREADS must not be silent: the parsing core hands
+  // back the one-line warning the env path prints (once) to stderr, and
+  // the message names the exact rejected value so the typo is findable.
+  std::string warning;
+  for (const char* bad : {"", "0", "-3", "abc", "4x", "9999999"}) {
+    const int count = ThreadCountFromEnv(bad, &warning);
+    EXPECT_GE(count, 1) << "value=" << bad;
+    ASSERT_FALSE(warning.empty()) << "value=" << bad;
+    EXPECT_NE(warning.find("NODEDP_THREADS"), std::string::npos);
+    EXPECT_NE(warning.find(std::string("\"") + bad + "\""),
+              std::string::npos)
+        << "warning must name the rejected value: " << warning;
+  }
+  // Valid values and an unset variable stay warning-free.
+  EXPECT_EQ(ThreadCountFromEnv("3", &warning), 3);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_GE(ThreadCountFromEnv(nullptr, &warning), 1);
+  EXPECT_TRUE(warning.empty());
 }
 
 TEST(ThreadPoolTest, ScopedOverrideAndRestore) {
